@@ -1,0 +1,35 @@
+# Developer conveniences for the Whisper reproduction.
+
+.PHONY: install test bench examples figures all clean
+
+install:
+	python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-verbose:
+	pytest benchmarks/ --benchmark-only -s
+
+examples:
+	python examples/quickstart.py
+	python examples/semantic_discovery.py
+	python examples/b2b_supply_chain.py
+	python examples/workflow_process.py
+	python examples/operations.py
+
+figures:
+	python examples/figure4.py
+
+outputs:
+	pytest tests/ 2>&1 | tee test_output.txt
+	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+all: test bench
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null || true
+	rm -rf .pytest_cache .hypothesis src/repro.egg-info

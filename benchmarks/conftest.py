@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table/figure of the paper (see DESIGN.md's
+per-experiment index), prints the rows/series, and asserts the paper's
+*qualitative shape* — who wins, by roughly what factor, where the knees
+are — since absolute numbers depend on the (simulated) testbed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "paper: benchmark reproducing a specific paper result"
+    )
+
+
+@pytest.fixture
+def show():
+    """Print a benchmark artefact under -s, collecting it either way."""
+    artefacts = []
+
+    def _show(text: str) -> str:
+        artefacts.append(text)
+        print("\n" + text)
+        return text
+
+    return _show

@@ -1,0 +1,130 @@
+"""Ablation F — maintenance traffic vs. recovery speed (DESIGN.md #4).
+
+Figure 4's linear message growth is mostly *maintenance*: heartbeats,
+membership renewals, lease renewals.  That traffic buys failure-detection
+speed.  This bench sweeps the heartbeat interval and reports both sides of
+the trade in one table: steady-state messages per second per peer, and the
+worst-case failover RTT — making the knob's cost/benefit explicit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import format_sweep, run_sweep
+from repro.core import WhisperSystem
+
+REPLICAS = 4
+WINDOW = 20.0
+
+
+def measure(heartbeat_interval: float) -> dict:
+    # Steady-state maintenance traffic.
+    system = WhisperSystem(seed=19, heartbeat_interval=heartbeat_interval)
+    service = system.deploy_student_service(replicas=REPLICAS)
+    system.settle(8.0)
+    system.reset_counters()
+    system.run_until(system.env.now + WINDOW)
+    messages_per_second_per_peer = system.trace.sent_total / WINDOW / REPLICAS
+
+    # Failover RTT under the same setting.
+    system2 = WhisperSystem(seed=19, heartbeat_interval=heartbeat_interval)
+    # Slow detection settings need a deeper retry budget to ride out the
+    # longer failover window.
+    service2 = system2.deploy_student_service(replicas=REPLICAS, max_attempts=24)
+    system2.settle(8.0)
+    node, soap = system2.add_client("tradeoff-client")
+    latencies = []
+
+    def loop():
+        for index in range(4):
+            started = system2.env.now
+            yield from soap.call(
+                service2.address, service2.path, "StudentInformation",
+                {"ID": f"S{index + 1:05d}"}, timeout=120.0,
+            )
+            latencies.append(system2.env.now - started)
+            yield system2.env.timeout(0.5)
+
+    victim = service2.group.coordinator_peer()
+    system2.failures.crash_at(system2.env.now + 0.7, victim.node.name)
+    system2.env.run(until=node.spawn(loop()))
+
+    return {
+        "msg/s/peer": messages_per_second_per_peer,
+        "failover rtt (s)": max(latencies),
+    }
+
+
+@pytest.mark.paper
+def test_planned_vs_unplanned_failover(benchmark, show):
+    """Ablation G — graceful handoff vs. crash failover.
+
+    A coordinator that *announces* its departure (planned maintenance)
+    hands off on election timescales; a crashed one costs the full
+    detection period first.  The gap is the price of silence — the §1
+    'system failure' class in numbers.
+    """
+
+    def measure(graceful: bool) -> float:
+        system = WhisperSystem(seed=29, heartbeat_interval=1.0)
+        service = system.deploy_student_service(replicas=REPLICAS)
+        system.settle(8.0)
+        node, soap = system.add_client("handoff-client")
+
+        def one_call(student):
+            yield from soap.call(
+                service.address, service.path, "StudentInformation",
+                {"ID": student}, timeout=120.0,
+            )
+
+        system.env.run(until=node.spawn(one_call("S00001")))
+        victim = service.group.coordinator_peer()
+        if graceful:
+            victim.shutdown()
+        else:
+            victim.node.crash()
+        started = system.env.now
+        system.env.run(until=node.spawn(one_call("S00002")))
+        return system.env.now - started
+
+    def run():
+        return {"graceful (s)": measure(True), "crash (s)": measure(False)}
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    from repro.bench import format_table
+
+    show(format_table(
+        ["departure", "next-request RTT (s)"],
+        [["graceful shutdown", outcome["graceful (s)"]],
+         ["crash", outcome["crash (s)"]]],
+        title="Ablation G — planned vs. unplanned coordinator departure",
+    ))
+    assert outcome["graceful (s)"] < 3.0
+    assert outcome["crash (s)"] > outcome["graceful (s)"] * 2
+
+
+@pytest.mark.paper
+def test_maintenance_traffic_buys_recovery_speed(benchmark, show):
+    sweep = benchmark.pedantic(
+        lambda: run_sweep(
+            "maintenance trade-off", "heartbeat interval (s)",
+            [0.25, 0.5, 1.0, 2.0, 4.0], measure,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    show(format_sweep(
+        sweep,
+        title="Ablation F — maintenance overhead vs. failover speed "
+              f"({REPLICAS} b-peers)",
+    ))
+    traffic = [float(v) for v in sweep.series("msg/s/peer")]
+    failover = [float(v) for v in sweep.series("failover rtt (s)")]
+    # Faster heartbeats: more traffic...
+    assert traffic[0] > traffic[-1] * 1.5
+    # ...but much faster recovery.
+    assert failover[0] < failover[-1] / 3
+    # Both monotone across the sweep (small tolerance for renewals noise).
+    assert all(a >= b * 0.85 for a, b in zip(traffic, traffic[1:]))
+    assert all(a <= b * 1.15 for a, b in zip(failover, failover[1:]))

@@ -1,0 +1,137 @@
+"""§5 RTT results, worst case.
+
+"Nevertheless, in the worst case the RTT can take several seconds.  This
+low performance is caused by two factors.  On the one hand, in case of
+coordinator failure, the time needed to elect a new coordinator is
+considerably high.  On the other hand, the time to make a new binding
+between the SWS-proxy and the elected b-peer is also high."
+
+We crash the coordinator mid-workload and measure the affected request's
+RTT, then sweep the failure-detection period to show exactly how those two
+factors (detection+election vs. re-binding) compose into the multi-second
+tail.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import format_sweep, format_table, run_sweep
+from repro.core import WhisperSystem
+from repro.soap import SoapClient
+
+
+def _run_failover(heartbeat_interval: float, miss_threshold: int = 3, seed: int = 3):
+    system = WhisperSystem(
+        seed=seed, heartbeat_interval=heartbeat_interval, miss_threshold=miss_threshold
+    )
+    service = system.deploy_student_service(replicas=4)
+    system.settle(8.0)
+    node, soap = system.add_client("failover-client")
+    latencies = []
+
+    def client_loop():
+        for index in range(8):
+            started = system.env.now
+            yield from soap.call(
+                service.address, service.path, "StudentInformation",
+                {"ID": f"S{index + 1:05d}"}, timeout=120.0,
+            )
+            latencies.append(system.env.now - started)
+            yield system.env.timeout(0.5)
+
+    # Crash the coordinator shortly after the workload starts.
+    victim = service.group.coordinator_peer()
+    system.failures.crash_at(system.env.now + 1.2, victim.node.name)
+    system.env.run(until=node.spawn(client_loop()))
+    return latencies, service.proxy.stats
+
+
+@pytest.mark.paper
+def test_worst_case_rtt_is_seconds(benchmark, show):
+    latencies, stats = benchmark.pedantic(
+        lambda: _run_failover(heartbeat_interval=1.0), rounds=1, iterations=1
+    )
+    rows = [[index, latency * 1000] for index, latency in enumerate(latencies)]
+    show(format_table(
+        ["request", "rtt (ms)"], rows,
+        title="§5 worst case — coordinator crashed after request 2",
+    ))
+    worst = max(latencies)
+    common = sorted(latencies)[len(latencies) // 2]
+    # The paper's claim: common case sub-10ms-ish, worst case *seconds*.
+    assert common < 0.05
+    assert 1.0 < worst < 60.0, "failover RTT should be seconds, not ms"
+    assert worst / common > 50, "bimodal: failover dwarfs the common case"
+    assert stats.rebinds >= 1, "the proxy must have re-bound (§5's 2nd factor)"
+    assert stats.failover_durations, "failover must be recorded"
+
+
+@pytest.mark.paper
+def test_failover_rtt_tracks_detection_period(benchmark, show):
+    """Ablation (DESIGN.md #4): the dominant term of the worst-case RTT is
+    the failure-detection period (interval × misses); halving the heartbeat
+    interval roughly halves the failover RTT."""
+
+    def measure(interval: float) -> dict:
+        latencies, _stats = _run_failover(heartbeat_interval=interval)
+        return {"worst_rtt_s": max(latencies)}
+
+    sweep = benchmark.pedantic(
+        lambda: run_sweep(
+            "failover vs detection period", "heartbeat interval (s)",
+            [0.25, 0.5, 1.0, 2.0], measure,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    show(format_sweep(sweep, title="Worst-case RTT vs. failure-detection period"))
+    worst = [float(v) for v in sweep.series("worst_rtt_s")]
+    # Monotone: slower detection -> slower failover.
+    assert all(a <= b * 1.25 for a, b in zip(worst, worst[1:])), worst
+    assert worst[-1] > worst[0] * 2, "4x detection period should clearly slow failover"
+
+
+@pytest.mark.paper
+def test_failover_decomposition(benchmark, show):
+    """Break the worst-case RTT into the paper's two factors: the time to
+    elect a new coordinator vs. the time to re-bind the proxy."""
+
+    def measure() -> dict:
+        system = WhisperSystem(seed=5, heartbeat_interval=1.0)
+        service = system.deploy_student_service(replicas=4)
+        system.settle(8.0)
+        node, soap = system.add_client("decomp-client")
+
+        def one_call(student):
+            yield from soap.call(
+                service.address, service.path, "StudentInformation",
+                {"ID": student}, timeout=120.0,
+            )
+
+        system.env.run(until=node.spawn(one_call("S00001")))  # bind
+        crash_at = system.env.now
+        victim = service.group.crash_coordinator()
+        assert victim is not None
+
+        # Election completion: a new coordinator emerges.
+        while service.group.coordinator_peer() is None:
+            system.run_until(system.env.now + 0.25)
+        elected_at = system.env.now
+
+        started = system.env.now
+        system.env.run(until=node.spawn(one_call("S00002")))
+        rebound_at = system.env.now
+        return {
+            "detect+elect (s)": elected_at - crash_at,
+            "re-bind+retry (s)": rebound_at - started,
+        }
+
+    decomposition = benchmark.pedantic(measure, rounds=1, iterations=1)
+    show(format_table(
+        ["factor", "seconds"],
+        [[k, v] for k, v in decomposition.items()],
+        title="§5 worst-case decomposition (election vs re-binding)",
+    ))
+    assert decomposition["detect+elect (s)"] > 1.0
+    assert decomposition["re-bind+retry (s)"] < decomposition["detect+elect (s)"]

@@ -1,0 +1,136 @@
+"""§5 narrative — "the proposed solution was able to scale to meet desired
+throughput and latency requirements".
+
+Two sweeps:
+
+* offered load swept at fixed replication — throughput follows the offered
+  load until saturation while the common-case latency stays bounded;
+* b-peers swept at fixed offered load with load-sharing enabled (§4.1:
+  redundancy "makes possible to also address scalability requirements
+  through load-sharing") — more replicas means more capacity.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import PoissonWorkload, format_sweep, run_sweep, summarize
+from repro.core import WhisperSystem
+
+DURATION = 8.0
+
+
+def _deploy(replicas: int, load_sharing: bool, seed: int = 17) -> tuple:
+    system = WhisperSystem(seed=seed, load_sharing=load_sharing)
+    service = system.deploy_student_service(replicas=replicas)
+    system.settle(6.0)
+    return system, service
+
+
+def measure_offered_load(rate: float) -> dict:
+    system, service = _deploy(replicas=4, load_sharing=True)
+    workload = PoissonWorkload(
+        system, service.address, service.path, "StudentInformation",
+        rate=rate, duration=DURATION,
+    )
+    result = workload.run()
+    latency = summarize([l * 1000 for l in result.latencies])
+    return {
+        "completed": result.successes,
+        "throughput (req/s)": result.throughput,
+        "p50 (ms)": latency.p50,
+        "p99 (ms)": latency.p99,
+        "availability": result.availability,
+    }
+
+
+def measure_replicas(replicas: int) -> dict:
+    system, service = _deploy(replicas=replicas, load_sharing=True)
+    workload = PoissonWorkload(
+        system, service.address, service.path, "StudentInformation",
+        rate=120.0, duration=DURATION,
+    )
+    result = workload.run()
+    latency = summarize([l * 1000 for l in result.latencies])
+    executed = [peer.requests_executed for peer in service.group.peers]
+    return {
+        "throughput (req/s)": result.throughput,
+        "p99 (ms)": latency.p99,
+        "busiest replica": max(executed),
+        "share of busiest": max(executed) / max(1, sum(executed)),
+    }
+
+
+@pytest.mark.paper
+def test_throughput_tracks_offered_load(benchmark, show):
+    sweep = benchmark.pedantic(
+        lambda: run_sweep(
+            "throughput vs offered load", "offered (req/s)",
+            [25, 50, 100, 200], measure_offered_load,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    show(format_sweep(sweep, title="Throughput & latency under offered load"))
+    offered = [float(v) for v in sweep.parameters()]
+    achieved = [float(v) for v in sweep.series("throughput (req/s)")]
+    # Below saturation the system keeps up (within Poisson noise).
+    for target, actual in zip(offered, achieved):
+        assert actual > target * 0.8, (target, actual)
+    # Latency stays bounded at every load point.
+    assert all(float(v) < 100.0 for v in sweep.series("p50 (ms)"))
+    assert all(float(v) == 1.0 for v in sweep.series("availability"))
+
+
+@pytest.mark.paper
+def test_load_sharing_spreads_work_across_replicas(benchmark, show):
+    sweep = benchmark.pedantic(
+        lambda: run_sweep(
+            "capacity vs replicas", "b-peers", [1, 2, 4, 8], measure_replicas
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    show(format_sweep(sweep, title="Load sharing across b-peers (§4.1)"))
+    shares = [float(v) for v in sweep.series("share of busiest")]
+    # With one replica it does everything; with 8 it does ~1/8.
+    assert shares[0] == 1.0
+    assert shares[-1] < 0.3
+    # The busiest replica's absolute load shrinks as replicas grow.
+    busiest = [float(v) for v in sweep.series("busiest replica")]
+    assert busiest[-1] < busiest[0] * 0.5
+
+
+@pytest.mark.paper
+def test_coordinator_only_vs_load_sharing(benchmark, show):
+    """Ablation (DESIGN.md #3): without load sharing the coordinator
+    serialises every request; with it, capacity scales."""
+
+    def measure(load_sharing: bool) -> dict:
+        system, service = _deploy(replicas=4, load_sharing=load_sharing)
+        workload = PoissonWorkload(
+            system, service.address, service.path, "StudentInformation",
+            rate=250.0, duration=DURATION,
+        )
+        result = workload.run()
+        latency = summarize([l * 1000 for l in result.latencies])
+        return {"throughput (req/s)": result.throughput, "p99 (ms)": latency.p99}
+
+    rows = benchmark.pedantic(
+        lambda: {mode: measure(mode) for mode in (False, True)},
+        rounds=1,
+        iterations=1,
+    )
+    from repro.bench import format_table
+
+    show(format_table(
+        ["mode", "throughput (req/s)", "p99 (ms)"],
+        [
+            ["coordinator-only", rows[False]["throughput (req/s)"], rows[False]["p99 (ms)"]],
+            ["load-sharing", rows[True]["throughput (req/s)"], rows[True]["p99 (ms)"]],
+        ],
+        title="Dispatch policy ablation at 250 req/s offered",
+    ))
+    # At this load the single coordinator (2ms service time -> 500/s hard
+    # cap, but queueing grows) should show clearly worse tail latency.
+    assert rows[True]["p99 (ms)"] <= rows[False]["p99 (ms)"]

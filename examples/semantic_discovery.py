@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Semantic integration walk-through (§2-§4.3).
+
+Shows the machinery that lets Whisper match Web services to b-peer groups:
+
+1. the WSDL-S document of the StudentManagement service (the §3.1 listing);
+2. the OWL ontology both sides annotate against;
+3. semantic advertisements, including a synonym-annotated group, a homonym
+   trap, and an unrelated service;
+4. the §3.2 ``findPeerGroupAdv`` logic — semantic matching vs. the
+   syntactic baseline, demonstrating the precision/recall gap the paper
+   claims.
+
+Run:  python examples/semantic_discovery.py
+"""
+
+from __future__ import annotations
+
+from repro.core import SemanticGroupMatcher, SemanticWebService, SyntacticGroupMatcher
+from repro.ontology import (
+    B2B,
+    LEGACY,
+    SM,
+    ConceptMatcher,
+    DegreeOfMatch,
+    Reasoner,
+    b2b_ontology,
+    ontology_to_xml,
+)
+from repro.p2p import PeerGroupId, SemanticAdvertisement
+from repro.wsdl import definitions_to_xml, student_management_wsdl
+
+
+def build_advertisements():
+    def adv(name, action, inputs, outputs):
+        return SemanticAdvertisement(
+            group_id=PeerGroupId.from_name(name), name=name,
+            action=action, inputs=tuple(inputs), outputs=tuple(outputs),
+        )
+
+    return [
+        adv("uma-students", SM["StudentInformation"],
+            [SM["StudentID"]], [SM["StudentInfo"]]),
+        adv("registry-students (synonyms)", SM["StudentInformation"],
+            [SM["StudentNumber"]], [SM["StudentRecord"]]),
+        adv("legacy-marketing (homonym trap)", LEGACY["StudentInformation"],
+            [LEGACY["StudentID"]], [LEGACY["StudentInfo"]]),
+        adv("insurance-claims", B2B["ProcessClaim"],
+            [B2B["ClaimID"]], [B2B["AssessmentReport"]]),
+    ]
+
+
+def main() -> None:
+    ontology = b2b_ontology()
+    definitions = student_management_wsdl()
+    sws = SemanticWebService(definitions, ontology)
+
+    print("=== 1. The WSDL-S document (§3.1) ===\n")
+    wsdl_xml = definitions_to_xml(definitions)
+    print("\n".join(wsdl_xml.splitlines()[:20]))
+    print("  ...\n")
+
+    annotation = sws.annotation("StudentInformation")
+    print("semantic annotation extracted by the proxy:")
+    print(f"  action : {annotation.action}")
+    print(f"  inputs : {list(annotation.inputs)}")
+    print(f"  outputs: {list(annotation.outputs)}\n")
+
+    print("=== 2. The shared OWL ontology ===\n")
+    reasoner = Reasoner(ontology)
+    print(f"ontology: {ontology.uri} ({len(ontology)} concepts)")
+    print(f"  StudentID ≡ StudentNumber : "
+          f"{reasoner.equivalent(SM['StudentID'], SM['StudentNumber'])}")
+    print(f"  StudentInfo ≡ StudentRecord: "
+          f"{reasoner.equivalent(SM['StudentInfo'], SM['StudentRecord'])}")
+    print(f"  sm:StudentInformation vs legacy:StudentInformation related: "
+          f"{reasoner.is_subsumed_by(LEGACY['StudentInformation'], SM['StudentInformation'])}")
+    owl_xml = ontology_to_xml(ontology)
+    print(f"  (serialises to {len(owl_xml):,} bytes of OWL RDF/XML)\n")
+
+    print("=== 3. Advertisements on the JXTA network (§4.3) ===\n")
+    advertisements = build_advertisements()
+    for advertisement in advertisements:
+        print(f"  {advertisement.name:<32} action={advertisement.action}")
+    print()
+
+    print("=== 4. findPeerGroupAdv (§3.2): semantic vs syntactic ===\n")
+    semantic = SemanticGroupMatcher(
+        ConceptMatcher(reasoner), min_degree=DegreeOfMatch.EXACT
+    )
+    syntactic = SyntacticGroupMatcher()
+    for label, matcher in (("semantic", semantic), ("syntactic", syntactic)):
+        matches = matcher.find_all(annotation, advertisements)
+        names = [match.advertisement.name for match in matches]
+        print(f"  {label:>9} matcher selects: {names}")
+    print(
+        "\nThe syntactic matcher is fooled by the homonym trap and misses\n"
+        "the synonym-annotated group — §3.1's 'high recall and low\n"
+        "precision'. The semantic matcher gets both right."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""repro — a reproduction of Whisper (Cardoso, IWDDS/ICDCS 2006).
+
+Whisper is a fault-tolerant Service-Oriented Architecture that increases
+Web-service availability by delegating service execution to redundant
+groups of peers on a JXTA-like peer-to-peer network, integrated with the
+Web-service world through semantic (OWL / WSDL-S) annotations.
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.simnet`    — discrete-event kernel + simulated LAN testbed
+* :mod:`repro.ontology`  — OWL-lite ontologies, subsumption, matching
+* :mod:`repro.wsdl`      — WSDL 1.1 + WSDL-S semantic annotations
+* :mod:`repro.soap`      — SOAP envelopes/faults + simulated HTTP
+* :mod:`repro.p2p`       — JXTA-like peers, groups, advertisements, discovery
+* :mod:`repro.election`  — Bully algorithm + heartbeat failure detection
+* :mod:`repro.qos`       — QoS metrics and peer selection
+* :mod:`repro.backend`   — service backends (operational DB, warehouse)
+* :mod:`repro.core`      — Whisper itself: semantic services, SWS-proxies,
+  b-peers, b-peer groups, fault-tolerant invocation
+* :mod:`repro.bench`     — workload generators, sweeps, statistics, reports
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,46 @@
+"""Service backends: operational stores, the data warehouse, datasets.
+
+The substrate behind b-peers.  Substitutes the paper's real student-records
+database with deterministic synthetic datasets (see DESIGN.md), and
+provides the §4.1 failover pair: an operational :class:`Database` that can
+be failed, and a :func:`build_warehouse` replica that a semantically
+equivalent b-peer serves from instead.
+"""
+
+from .datasets import (
+    claims_database,
+    loans_database,
+    patients_database,
+    student_database,
+)
+from .services import (
+    ServiceImplementation,
+    claim_assessment,
+    loan_approval,
+    patient_record_retrieval,
+    student_enrollment,
+    student_lookup_operational,
+    student_lookup_warehouse,
+)
+from .store import BackendUnavailable, Database, RecordNotFound, Table
+from .warehouse import build_warehouse, warehouse_lookup
+
+__all__ = [
+    "BackendUnavailable",
+    "Database",
+    "RecordNotFound",
+    "ServiceImplementation",
+    "Table",
+    "build_warehouse",
+    "claim_assessment",
+    "claims_database",
+    "loan_approval",
+    "loans_database",
+    "patient_record_retrieval",
+    "patients_database",
+    "student_database",
+    "student_enrollment",
+    "student_lookup_operational",
+    "student_lookup_warehouse",
+    "warehouse_lookup",
+]

@@ -1,0 +1,203 @@
+"""Service implementations that b-peers execute.
+
+A :class:`ServiceImplementation` is the unit of business logic a b-peer
+hosts: a handler from SOAP-style arguments to a result value, backed by a
+store, plus a simulated compute time.  The same logical service can have
+several implementations ("the b-peers of the same semantic b-peer group
+implement the same functionality service, but possibly in a different
+way", §4.1) — here, operational-database and data-warehouse flavours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict
+
+from .store import Database
+from .warehouse import warehouse_lookup
+
+__all__ = [
+    "ServiceImplementation",
+    "student_lookup_operational",
+    "student_lookup_warehouse",
+    "student_enrollment",
+    "claim_assessment",
+    "loan_approval",
+    "patient_record_retrieval",
+]
+
+#: Handler signature: arguments dict -> result value.
+Handler = Callable[[Dict[str, Any]], Any]
+
+
+@dataclass
+class ServiceImplementation:
+    """One way of realising a service's functionality."""
+
+    name: str
+    handler: Handler
+    backend: Database
+    flavour: str = "operational"
+    #: Simulated compute time per invocation, seconds.
+    service_time: float = 0.002
+    invocations: int = field(default=0, init=False)
+
+    def invoke(self, arguments: Dict[str, Any]) -> Any:
+        """Run the business logic (raises backend exceptions unchanged)."""
+        self.invocations += 1
+        return self.handler(arguments)
+
+
+def _require(arguments: Dict[str, Any], key: str) -> Any:
+    if key not in arguments:
+        raise ValueError(f"missing argument {key!r}")
+    return arguments[key]
+
+
+# -- student management (§3 running scenario) ------------------------------------------
+
+
+def student_lookup_operational(database: Database) -> ServiceImplementation:
+    """Serve ``StudentInformation`` from the operational database."""
+
+    def handler(arguments: Dict[str, Any]) -> Any:
+        student_id = _require(arguments, "ID")
+        row = database.read("students", student_id)
+        return {
+            "studentId": row["student_id"],
+            "name": row["name"],
+            "degree": row["degree"],
+            "email": row["email"],
+            "enrolledCourses": row["enrolled_courses"],
+            "source": "operational-db",
+        }
+
+    return ServiceImplementation(
+        name="student-lookup/operational",
+        handler=handler,
+        backend=database,
+        flavour="operational",
+        service_time=0.002,
+    )
+
+
+def student_lookup_warehouse(warehouse: Database) -> ServiceImplementation:
+    """Serve ``StudentInformation`` from the data warehouse (§4.1 failover)."""
+
+    def handler(arguments: Dict[str, Any]) -> Any:
+        student_id = _require(arguments, "ID")
+        row = warehouse_lookup(warehouse, "students", student_id)
+        return {
+            "studentId": row["student_id"],
+            "name": row["name"],
+            "degree": row["degree"],
+            "email": row["email"],
+            "enrolledCourses": row["enrolled_courses"],
+            "source": "data-warehouse",
+        }
+
+    return ServiceImplementation(
+        name="student-lookup/warehouse",
+        handler=handler,
+        backend=warehouse,
+        flavour="warehouse",
+        # Warehouse scans are a little slower than keyed operational reads.
+        service_time=0.005,
+    )
+
+
+def student_enrollment(database: Database) -> ServiceImplementation:
+    """Enroll a student in a course (the ``sm:EnrollStudent`` action)."""
+
+    def handler(arguments: Dict[str, Any]) -> Any:
+        student_id = _require(arguments, "ID")
+        course = _require(arguments, "course")
+        row = database.read("students", student_id)
+        courses = sorted(set(row["enrolled_courses"]) | {course})
+        database.table("students").update(
+            student_id, {"enrolled_courses": courses}
+        )
+        return {
+            "studentId": student_id,
+            "name": row["name"],
+            "degree": row["degree"],
+            "email": row["email"],
+            "enrolledCourses": courses,
+            "source": "operational-db",
+        }
+
+    return ServiceImplementation(
+        name="student-enrollment",
+        handler=handler,
+        backend=database,
+        service_time=0.003,
+    )
+
+
+# -- B2B domains (§1) ---------------------------------------------------------------------
+
+
+def claim_assessment(database: Database) -> ServiceImplementation:
+    """Assess an insurance claim: amount- and status-based decision."""
+
+    def handler(arguments: Dict[str, Any]) -> Any:
+        claim_id = _require(arguments, "request")
+        row = database.read("claims", claim_id)
+        assessment = "approve" if row["amount"] < 10000.0 else "escalate"
+        if row["status"] in ("rejected", "settled"):
+            assessment = "closed"
+        return {
+            "claimId": row["claim_id"],
+            "policyNumber": row["policy_number"],
+            "amount": row["amount"],
+            "assessment": assessment,
+        }
+
+    return ServiceImplementation(
+        name="claim-assessment",
+        handler=handler,
+        backend=database,
+        service_time=0.004,
+    )
+
+
+def loan_approval(database: Database) -> ServiceImplementation:
+    """Decide a loan application from the stored credit score."""
+
+    def handler(arguments: Dict[str, Any]) -> Any:
+        loan_id = _require(arguments, "request")
+        row = database.read("loans", loan_id)
+        return {
+            "loanId": row["loan_id"],
+            "customerId": row["customer_id"],
+            "approved": row["approved"],
+            "creditScore": row["credit_score"],
+        }
+
+    return ServiceImplementation(
+        name="loan-approval",
+        handler=handler,
+        backend=database,
+        service_time=0.003,
+    )
+
+
+def patient_record_retrieval(database: Database) -> ServiceImplementation:
+    """Fetch a patient's record (§1: treatment must not wait on downtime)."""
+
+    def handler(arguments: Dict[str, Any]) -> Any:
+        patient_id = _require(arguments, "request")
+        row = database.read("patients", patient_id)
+        return {
+            "patientId": row["patient_id"],
+            "name": row["name"],
+            "conditions": row["conditions"],
+            "nextTreatment": row["next_treatment"],
+        }
+
+    return ServiceImplementation(
+        name="patient-record",
+        handler=handler,
+        backend=database,
+        service_time=0.002,
+    )

@@ -1,0 +1,118 @@
+"""In-memory operational data stores.
+
+B-peers "implement a specific functionality, such as accessing a database
+to retrieve students data" (§4.2).  This module provides that database: a
+keyed table store with simple queries and — importantly — an availability
+switch, because the paper's motivating failover is an *unavailable
+operational database* (§4.1) whose requests a semantically equivalent peer
+then serves from a data warehouse.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List
+
+__all__ = ["Table", "Database", "BackendUnavailable", "RecordNotFound"]
+
+
+class BackendUnavailable(Exception):
+    """The backing store is down (injected failure)."""
+
+
+class RecordNotFound(Exception):
+    """No record with the requested key."""
+
+
+class Table:
+    """One keyed table."""
+
+    def __init__(self, name: str, primary_key: str):
+        self.name = name
+        self.primary_key = primary_key
+        self._rows: Dict[Any, Dict[str, Any]] = {}
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        return iter(list(self._rows.values()))
+
+    def insert(self, row: Dict[str, Any]) -> None:
+        """Insert or replace a row (keyed by its primary-key field)."""
+        if self.primary_key not in row:
+            raise ValueError(
+                f"row lacks primary key {self.primary_key!r}: {sorted(row)}"
+            )
+        self._rows[row[self.primary_key]] = dict(row)
+
+    def get(self, key: Any) -> Dict[str, Any]:
+        try:
+            return dict(self._rows[key])
+        except KeyError:
+            raise RecordNotFound(f"{self.name}[{key!r}]") from None
+
+    def contains(self, key: Any) -> bool:
+        return key in self._rows
+
+    def delete(self, key: Any) -> bool:
+        return self._rows.pop(key, None) is not None
+
+    def select(self, predicate: Callable[[Dict[str, Any]], bool]) -> List[Dict[str, Any]]:
+        return [dict(row) for row in self._rows.values() if predicate(row)]
+
+    def update(self, key: Any, changes: Dict[str, Any]) -> Dict[str, Any]:
+        row = self._rows.get(key)
+        if row is None:
+            raise RecordNotFound(f"{self.name}[{key!r}]")
+        row.update(changes)
+        return dict(row)
+
+
+class Database:
+    """A named collection of tables with an availability switch."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.available = True
+        self._tables: Dict[str, Table] = {}
+        self.reads = 0
+        self.writes = 0
+
+    def create_table(self, name: str, primary_key: str) -> Table:
+        if name in self._tables:
+            raise ValueError(f"table {name!r} already exists in {self.name!r}")
+        table = Table(name, primary_key)
+        self._tables[name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        self._check_available()
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise RecordNotFound(f"no table {name!r} in {self.name!r}") from None
+
+    def read(self, table_name: str, key: Any) -> Dict[str, Any]:
+        """Availability-checked point read."""
+        self._check_available()
+        self.reads += 1
+        return self.table(table_name).get(key)
+
+    def write(self, table_name: str, row: Dict[str, Any]) -> None:
+        """Availability-checked insert/replace."""
+        self._check_available()
+        self.writes += 1
+        self.table(table_name).insert(row)
+
+    # -- failure injection ---------------------------------------------------------
+
+    def fail(self) -> None:
+        """Take the store offline; reads/writes raise until restored."""
+        self.available = False
+
+    def restore(self) -> None:
+        self.available = True
+
+    def _check_available(self) -> None:
+        if not self.available:
+            raise BackendUnavailable(f"database {self.name!r} is down")

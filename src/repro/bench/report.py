@@ -1,0 +1,88 @@
+"""Text rendering of benchmark tables and ASCII figures.
+
+The benchmarks print the same rows/series the paper reports; these helpers
+keep that output aligned and reproducible (fixed-width, deterministic
+formatting), and can render a quick ASCII scatter so Figure 4's linearity
+is visible in the terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+from .harness import Sweep
+
+__all__ = ["format_table", "format_sweep", "ascii_plot"]
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]], title: Optional[str] = None
+) -> str:
+    """Render an aligned text table."""
+    formatted = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in formatted:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append("  ".join("-" * w for w in widths))
+    parts.extend(line(row) for row in formatted)
+    return "\n".join(parts)
+
+
+def format_sweep(sweep: Sweep, title: Optional[str] = None) -> str:
+    """Render a sweep as a table: parameter column plus measured columns."""
+    columns = sweep.columns()
+    headers = [sweep.parameter_name] + columns
+    rows = [point.row(columns) for point in sweep.points]
+    return format_table(headers, rows, title=title or sweep.name)
+
+
+def ascii_plot(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """A minimal scatter plot for terminal output."""
+    if len(xs) != len(ys) or not xs:
+        raise ValueError("ascii_plot needs equal-length, non-empty series")
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        column = int((x - x_low) / x_span * (width - 1))
+        row = int((y - y_low) / y_span * (height - 1))
+        grid[height - 1 - row][column] = "*"
+    lines = [f"{y_label} (max {_format_cell(y_high)})"]
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(
+        f" {x_label}: {_format_cell(x_low)} .. {_format_cell(x_high)}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,191 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+::
+
+    python -m repro fig4 [--max-peers 16] [--seed 42]
+    python -m repro rtt [--samples 400]
+    python -m repro failover [--heartbeat 1.0]
+    python -m repro availability [--replicas 4]
+    python -m repro demo
+
+Each subcommand prints the same tables the corresponding benchmark
+asserts on (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from .bench import (
+    ClosedLoopWorkload,
+    ascii_plot,
+    format_sweep,
+    format_table,
+    linear_fit,
+    run_sweep,
+    summarize,
+)
+from .core import WhisperSystem
+
+__all__ = ["main"]
+
+
+def _cmd_fig4(args: argparse.Namespace) -> int:
+    counts = [n for n in (2, 4, 6, 8, 10, 12, 16, 20, 24) if n <= args.max_peers]
+
+    def measure(replicas: int) -> dict:
+        system = WhisperSystem(seed=args.seed)
+        service = system.deploy_student_service(replicas=replicas)
+        system.settle(6.0)
+        ClosedLoopWorkload(
+            system, service.address, service.path, "StudentInformation",
+            clients=2, think_time=0.1, requests_per_client=10,
+        ).run()
+        system.reset_counters()
+        system.run_until(system.env.now + 20.0)
+        return {"messages": system.trace.sent_total}
+
+    sweep = run_sweep("Figure 4", "b-peers", counts, measure)
+    print(format_sweep(sweep, title="Figure 4 — messages vs. b-peers (20s window)"))
+    xs = [float(n) for n in sweep.parameters()]
+    ys = [float(v) for v in sweep.series("messages")]
+    print()
+    print(ascii_plot(xs, ys, x_label="b-peers", y_label="messages"))
+    fit = linear_fit(xs, ys)
+    print(f"\nfit: messages = {fit.slope:.1f} x peers {fit.intercept:+.1f} "
+          f"(r² = {fit.r_squared:.5f})")
+    return 0
+
+
+def _cmd_rtt(args: argparse.Namespace) -> int:
+    system = WhisperSystem(seed=args.seed)
+    service = system.deploy_student_service(replicas=4)
+    system.settle(6.0)
+    node, soap = system.add_client("rtt-client")
+    latencies: List[float] = []
+
+    def loop():
+        for index in range(args.samples):
+            started = system.env.now
+            yield from soap.call(
+                service.address, service.path, "StudentInformation",
+                {"ID": f"S{(index % 200) + 1:05d}"}, timeout=30.0,
+            )
+            latencies.append(system.env.now - started)
+            yield system.env.timeout(0.01)
+
+    system.env.run(until=node.spawn(loop()))
+    summary = summarize([l * 1000 for l in latencies])
+    print(format_table(
+        ["metric", "ms"],
+        [["samples", summary.count], ["mean", summary.mean],
+         ["p50", summary.p50], ["p95", summary.p95], ["max", summary.maximum]],
+        title="End-to-end invocation RTT (failure-free)",
+    ))
+    return 0
+
+
+def _cmd_failover(args: argparse.Namespace) -> int:
+    system = WhisperSystem(seed=args.seed, heartbeat_interval=args.heartbeat)
+    service = system.deploy_student_service(replicas=4)
+    system.settle(8.0)
+    node, soap = system.add_client("failover-client")
+    rows = []
+
+    def loop():
+        for index in range(8):
+            started = system.env.now
+            yield from soap.call(
+                service.address, service.path, "StudentInformation",
+                {"ID": f"S{index + 1:05d}"}, timeout=120.0,
+            )
+            rows.append([index, (system.env.now - started) * 1000])
+            yield system.env.timeout(0.5)
+
+    victim = service.group.coordinator_peer()
+    system.failures.crash_at(system.env.now + 1.2, victim.node.name)
+    system.env.run(until=node.spawn(loop()))
+    print(format_table(
+        ["request", "rtt (ms)"], rows,
+        title=f"Coordinator crash after request 2 (heartbeat {args.heartbeat}s)",
+    ))
+    print(f"\nproxy re-binds: {service.proxy.stats.rebinds}, "
+          f"timeouts masked: {service.proxy.stats.timeouts}")
+    return 0
+
+
+def _cmd_availability(args: argparse.Namespace) -> int:
+    system = WhisperSystem(seed=args.seed, heartbeat_interval=0.5, miss_threshold=2)
+    service = system.deploy_student_service(replicas=args.replicas)
+    system.settle(6.0)
+    hosts = [peer.node.name for peer in service.group.peers]
+    run_seconds = 120.0
+    system.failures.churn(hosts, mtbf=25.0, mttr=20.0, until=system.env.now + run_seconds)
+    node, soap = system.add_client("avail-client", timeout=2.0)
+    results = {"ok": 0, "failed": 0}
+
+    def loop():
+        clock = 0.0
+        while clock < run_seconds:
+            def probe(sequence=int(clock * 10)):
+                try:
+                    yield from soap.call(
+                        service.address, service.path, "StudentInformation",
+                        {"ID": f"S{sequence % 200 + 1:05d}"}, timeout=2.0,
+                    )
+                except Exception:  # noqa: BLE001 - availability probe
+                    results["failed"] += 1
+                else:
+                    results["ok"] += 1
+
+            node.spawn(probe())
+            yield system.env.timeout(0.5)
+            clock += 0.5
+
+    system.env.run(until=node.spawn(loop()))
+    system.run_until(system.env.now + 5.0)
+    total = results["ok"] + results["failed"]
+    availability = results["ok"] / total if total else 0.0
+    print(format_table(
+        ["metric", "value"],
+        [["replicas", args.replicas], ["probes", total],
+         ["succeeded", results["ok"]], ["availability", availability]],
+        title=f"Availability under churn ({run_seconds:.0f}s, MTBF 25s, MTTR 20s)",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Whisper reproduction — run the paper's experiments.",
+    )
+    parser.add_argument("--seed", type=int, default=42, help="root RNG seed")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    fig4 = subparsers.add_parser("fig4", help="Figure 4: messages vs b-peers")
+    fig4.add_argument("--max-peers", type=int, default=16)
+    fig4.set_defaults(func=_cmd_fig4)
+
+    rtt = subparsers.add_parser("rtt", help="failure-free RTT distribution")
+    rtt.add_argument("--samples", type=int, default=200)
+    rtt.set_defaults(func=_cmd_rtt)
+
+    failover = subparsers.add_parser("failover", help="worst-case RTT (crash)")
+    failover.add_argument("--heartbeat", type=float, default=1.0)
+    failover.set_defaults(func=_cmd_failover)
+
+    availability = subparsers.add_parser(
+        "availability", help="availability under churn"
+    )
+    availability.add_argument("--replicas", type=int, default=4)
+    availability.set_defaults(func=_cmd_availability)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)

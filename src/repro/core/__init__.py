@@ -1,0 +1,49 @@
+"""Whisper: the paper's primary contribution.
+
+Semantic Web services (WSDL-S annotated), SWS-proxies that semantically
+discover b-peer groups on the JXTA-like network, b-peers with Bully-based
+coordination and backend failover, and the whole-system builder that wires
+clients → web server → service → proxy → P2P → b-peers → backends.
+"""
+
+from .baselines import FailoverSoapClient, ReplicatedPlainService
+from .bpeer import BPeer, ExecReply, ExecRequest
+from .bpeer_group import BPeerGroup, deploy_bpeer_group, semantic_advertisement_for
+from .errors import (
+    AnnotationError,
+    InvocationFailedError,
+    NoCoordinatorError,
+    NoMatchingGroupError,
+    WhisperError,
+)
+from .matching import GroupMatch, SemanticGroupMatcher, SyntacticGroupMatcher
+from .proxy import ProxyStats, SwsProxy
+from .sws import SemanticWebService
+from .system import DeployedService, WhisperSystem
+from .webservice import PlainWebService, WhisperWebService
+
+__all__ = [
+    "AnnotationError",
+    "BPeer",
+    "BPeerGroup",
+    "DeployedService",
+    "ExecReply",
+    "ExecRequest",
+    "FailoverSoapClient",
+    "ReplicatedPlainService",
+    "GroupMatch",
+    "InvocationFailedError",
+    "NoCoordinatorError",
+    "NoMatchingGroupError",
+    "PlainWebService",
+    "ProxyStats",
+    "SemanticGroupMatcher",
+    "SemanticWebService",
+    "SwsProxy",
+    "SyntacticGroupMatcher",
+    "WhisperError",
+    "WhisperSystem",
+    "WhisperWebService",
+    "deploy_bpeer_group",
+    "semantic_advertisement_for",
+]

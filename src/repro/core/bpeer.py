@@ -1,0 +1,432 @@
+"""B-peers: the replicated service executors (§4.1–4.2).
+
+A b-peer is a JXTA peer that (a) belongs to exactly one semantic b-peer
+group, (b) hosts one :class:`~repro.backend.services.ServiceImplementation`
+realising the group's functionality, and (c) runs the Bully algorithm so
+the group always has a coordinator.
+
+Request flow (§4.2): the SWS-proxy sends the request to the peer it
+believes coordinates the group.  If that peer is *not* (or no longer) the
+coordinator, it answers ``not-coordinator`` with a forward pointer.  The
+coordinator executes the request — and when its own backend is down it
+*delegates* to a semantically equivalent member (§4.1's operational-DB →
+data-warehouse scenario), transparently to the proxy.
+
+With ``load_sharing=True`` the coordinator additionally spreads incoming
+requests round-robin over the members (§4.1: "the redundancy mechanism of
+Whisper makes possible to also address scalability requirements through
+load-sharing"), with members answering the proxy directly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from ..backend.services import ServiceImplementation
+from ..backend.store import BackendUnavailable, RecordNotFound
+from ..qos.metrics import QosProfile
+from ..p2p.endpoint import EndpointMessage, UnresolvablePeerError
+from ..p2p.ids import PeerGroupId, PeerId
+from ..p2p.peer import Peer
+from ..simnet.events import AnyOf, Interrupt
+from ..simnet.message import Address
+from ..simnet.node import Node
+from ..simnet.queues import Store
+from ..election.coordinator import GroupCoordinator
+
+__all__ = ["BPeer", "ExecRequest", "ExecReply"]
+
+PROTO_EXEC = "whisper:exec"
+PROTO_EXEC_REPLY = "whisper:exec-reply"
+PROTO_DELEGATE = "whisper:delegate"
+COORD_HANDLER = "whisper:coordinator"
+
+#: How long a coordinator waits for a delegated member to answer.
+DELEGATION_TIMEOUT = 1.0
+
+#: Period of semantic-advertisement republication (JXTA republishes
+#: advertisements periodically; this is what repopulates the rendezvous'
+#: SRDI index after a rendezvous restart).
+REPUBLISH_PERIOD = 10.0
+
+
+@dataclass
+class ExecRequest:
+    """A service request travelling from proxy to b-peer group."""
+
+    request_id: int
+    group_id: PeerGroupId
+    operation: str
+    arguments: Dict[str, Any]
+    reply_to: PeerId
+    reply_addr: Address
+
+
+@dataclass
+class ExecReply:
+    """The b-peer group's answer to one :class:`ExecRequest`.
+
+    ``kind`` is one of ``result``, ``fault``, ``not-coordinator`` (with a
+    forward pointer in ``coordinator``), or ``cannot-serve``.
+    """
+
+    request_id: int
+    kind: str
+    value: Any = None
+    fault_code: Optional[str] = None
+    coordinator: Optional[Tuple[PeerId, Optional[Address]]] = None
+    served_by: Optional[str] = None
+
+
+@dataclass
+class _Delegation:
+    request: ExecRequest
+    done: Any  # simulation event
+    reply: Optional[ExecReply] = None
+
+
+class BPeer(Peer):
+    """One replica in a semantic b-peer group."""
+
+    def __init__(
+        self,
+        node: Node,
+        group_id: PeerGroupId,
+        group_name: str,
+        implementation: ServiceImplementation,
+        heartbeat_interval: float = 1.0,
+        miss_threshold: int = 3,
+        load_sharing: bool = False,
+        name: Optional[str] = None,
+    ):
+        super().__init__(node, name=name)
+        self.group_id = group_id
+        self.group_name = group_name
+        self.implementation = implementation
+        self.load_sharing = load_sharing
+        self.coordinator_mgr = GroupCoordinator(
+            self.groups,
+            group_id,
+            heartbeat_interval=heartbeat_interval,
+            miss_threshold=miss_threshold,
+        )
+        self.requests_executed = 0
+        self.requests_delegated = 0
+        self.requests_redirected = 0
+        #: Online QoS profile of this replica's executions (§2.4): feeds
+        #: operator reporting and can seed the group's QoS advertisement.
+        self.qos_profile = QosProfile(initial_time=implementation.service_time)
+        self._queue: Store = Store(self.env)
+        self._delegations: Dict[int, _Delegation] = {}
+        self._delegation_ids = itertools.count(1)
+        self._round_robin = 0
+        self._worker = None
+        self._republisher = None
+        #: Advertisements this peer keeps alive on the network.
+        self.published_advertisements = []
+
+        self.endpoint.register_listener(PROTO_EXEC, self._on_exec)
+        self.groups.register_group_listener(PROTO_DELEGATE, self._on_delegate)
+        self.resolver.register_handler(COORD_HANDLER, self._on_coordinator_query)
+        node.on_crash(lambda _node: self._on_crash())
+        node.on_restart(lambda _node: self._on_restart())
+        self._rendezvous: Optional[Peer] = None
+
+    # -- lifecycle --------------------------------------------------------------------
+
+    def start(self, rendezvous: Peer) -> None:
+        """Attach to the network, join the group, start serving."""
+        self._rendezvous = rendezvous
+        self.attach_to(rendezvous)
+        self.publish_self(remote=True)
+        self.groups.join(self.group_id, self.group_name)
+        self._worker = self.node.spawn(self._work_loop(), name=f"bpeer:{self.name}")
+        if self._republisher is None or not self._republisher.is_alive:
+            self._republisher = self.node.spawn(
+                self._republish_loop(), name=f"bpeer-republish:{self.name}"
+            )
+
+    def keep_published(self, advertisement, remote: bool = True) -> None:
+        """Publish now and republish periodically (survives SRDI loss)."""
+        self.published_advertisements.append((advertisement, remote))
+        self.discovery.publish(advertisement, remote=remote)
+
+    def _republish_loop(self):
+        from ..simnet.events import Interrupt
+
+        try:
+            while True:
+                yield self.env.timeout(REPUBLISH_PERIOD)
+                for advertisement, remote in self.published_advertisements:
+                    self.discovery.publish(advertisement, remote=remote)
+        except Interrupt:
+            return
+
+    def _on_restart(self) -> None:
+        """Recover after a crash+restart: re-attach, re-join, re-serve."""
+        if self._rendezvous is not None:
+            self.start(self._rendezvous)
+            for advertisement, remote in self.published_advertisements:
+                self.discovery.publish(advertisement, remote=remote)
+
+    def shutdown(self) -> None:
+        """Gracefully leave the group (planned maintenance).
+
+        Unlike a crash, a graceful departure *announces* itself: the leave
+        propagates, surviving members clear the coordinator immediately and
+        elect a successor without waiting out the failure detector — so
+        planned maintenance costs an election (sub-second), not a
+        detection period (seconds).
+        """
+        self.coordinator_mgr.monitor.stop()
+        self.coordinator_mgr.elector.coordinator = None
+        self.groups.leave(self.group_id)
+        if self._worker is not None and self._worker.is_alive:
+            worker, self._worker = self._worker, None
+            if worker is not self.env.active_process:
+                worker.interrupt("shutdown")
+        if self._republisher is not None and self._republisher.is_alive:
+            republisher, self._republisher = self._republisher, None
+            if republisher is not self.env.active_process:
+                republisher.interrupt("shutdown")
+        self._queue.items.clear()
+
+    def bootstrap_election(self) -> None:
+        """Trigger the group's first election (call on one member)."""
+        self.coordinator_mgr.bootstrap()
+
+    @property
+    def is_coordinator(self) -> bool:
+        return self.coordinator_mgr.is_coordinator
+
+    @property
+    def coordinator(self) -> Optional[PeerId]:
+        return self.coordinator_mgr.coordinator
+
+    # -- inbound requests --------------------------------------------------------------
+
+    def _on_exec(self, message: EndpointMessage) -> None:
+        request: ExecRequest = message.payload
+        if request.group_id != self.group_id or not self.node.up:
+            return
+        self.endpoint.add_route(request.reply_to, request.reply_addr)
+        if not self.is_coordinator:
+            # §4.2: "the b-peer found may not be the coordinator. Therefore,
+            # additional processing may need to be done to find the current
+            # coordinator" — we hand the proxy a forward pointer.
+            self.requests_redirected += 1
+            coordinator = self.coordinator
+            pointer = None
+            if coordinator is not None:
+                pointer = (coordinator, self.endpoint.route_for(coordinator))
+            self._reply(
+                request,
+                ExecReply(
+                    request_id=request.request_id,
+                    kind="not-coordinator",
+                    coordinator=pointer,
+                ),
+            )
+            return
+        self._queue.put(("exec", request))
+
+    # -- the worker (one request at a time, like a single-threaded JVM peer) -------------
+
+    def _work_loop(self):
+        try:
+            while True:
+                kind, request = yield self._queue.get()
+                if kind == "exec":
+                    yield from self._serve(request)
+                elif kind == "delegated":
+                    yield from self._serve_delegated(*request)
+        except Interrupt:
+            return
+
+    def _serve(self, request: ExecRequest):
+        if self.load_sharing:
+            target = self._pick_round_robin()
+            if target is not None and target != self.peer_id:
+                # Spread load: the member executes and answers the proxy.
+                self.requests_delegated += 1
+                try:
+                    self.groups.send_to_member(
+                        self.group_id,
+                        target,
+                        PROTO_DELEGATE,
+                        ("direct", request),
+                        category="bpeer-delegate",
+                        size_bytes=512,
+                    )
+                    return
+                except UnresolvablePeerError:
+                    pass  # fall through to local execution
+        reply = yield from self._execute_or_delegate(request)
+        self._reply(request, reply)
+
+    def _pick_round_robin(self) -> Optional[PeerId]:
+        """Next member in rotation (including ourselves), for load sharing."""
+        view = self.groups.groups.get(self.group_id)
+        if view is None:
+            return None
+        members = view.sorted_members()
+        if not members:
+            return None
+        choice = members[self._round_robin % len(members)]
+        self._round_robin += 1
+        return choice
+
+    def _execute_or_delegate(self, request: ExecRequest):
+        """Try locally; on backend unavailability, try each other member."""
+        reply = yield from self._execute_local(request)
+        if reply.kind != "cannot-serve":
+            return reply
+        # §4.1: a semantically equivalent peer transparently takes over.
+        for member in self.groups.groups[self.group_id].sorted_members():
+            if member == self.peer_id:
+                continue
+            delegated = yield from self._delegate_to(member, request)
+            if delegated is not None and delegated.kind != "cannot-serve":
+                return delegated
+        return reply  # everyone's backend is down
+
+    def _execute_local(self, request: ExecRequest):
+        started = self.env.now
+        yield self.env.timeout(self.implementation.service_time)
+        try:
+            value = self.implementation.invoke(request.arguments)
+        except BackendUnavailable:
+            self.qos_profile.record_failure()
+            return ExecReply(request_id=request.request_id, kind="cannot-serve")
+        except (RecordNotFound, ValueError) as error:
+            return ExecReply(
+                request_id=request.request_id,
+                kind="fault",
+                fault_code="Client",
+                value=str(error),
+            )
+        except Exception as error:  # implementation bug
+            return ExecReply(
+                request_id=request.request_id,
+                kind="fault",
+                fault_code="Server",
+                value=f"{type(error).__name__}: {error}",
+            )
+        self.requests_executed += 1
+        self.qos_profile.record_success(self.env.now - started)
+        return ExecReply(
+            request_id=request.request_id,
+            kind="result",
+            value=value,
+            served_by=self.implementation.name,
+        )
+
+    # -- delegation (coordinator -> member) -----------------------------------------------
+
+    def _delegate_to(self, member: PeerId, request: ExecRequest):
+        delegation_id = next(self._delegation_ids)
+        delegation = _Delegation(request=request, done=self.env.event())
+        self._delegations[delegation_id] = delegation
+        try:
+            self.groups.send_to_member(
+                self.group_id,
+                member,
+                PROTO_DELEGATE,
+                ("relay", delegation_id, self.peer_id, request),
+                category="bpeer-delegate",
+                size_bytes=512,
+            )
+        except UnresolvablePeerError:
+            del self._delegations[delegation_id]
+            return None
+        self.requests_delegated += 1
+        timer = self.env.timeout(DELEGATION_TIMEOUT)
+        yield AnyOf(self.env, [delegation.done, timer])
+        self._delegations.pop(delegation_id, None)
+        return delegation.reply
+
+    def _on_delegate(self, payload, src_peer: PeerId, group_id: PeerGroupId) -> None:
+        if group_id != self.group_id or not self.node.up:
+            return
+        mode = payload[0]
+        if mode == "direct":
+            # Load-sharing: execute and answer the proxy ourselves.
+            _mode, request = payload
+            self.endpoint.add_route(request.reply_to, request.reply_addr)
+            self._queue.put(("delegated", ("direct", None, None, request)))
+        elif mode == "relay":
+            _mode, delegation_id, coordinator, request = payload
+            self._queue.put(
+                ("delegated", ("relay", delegation_id, coordinator, request))
+            )
+        elif mode == "relay-reply":
+            _mode, delegation_id, reply = payload
+            delegation = self._delegations.get(delegation_id)
+            if delegation is not None:
+                delegation.reply = reply
+                if not delegation.done.triggered:
+                    delegation.done.succeed()
+
+    def _serve_delegated(self, mode, delegation_id, coordinator, request: ExecRequest):
+        if mode == "direct":
+            # Load-sharing: we answer the proxy ourselves — but if our own
+            # backend is down, chain through the group like a coordinator
+            # would (§4.1's transparent takeover applies here too).
+            reply = yield from self._execute_or_delegate(request)
+            self._reply(request, reply)
+            return
+        # Relay mode: execute locally only (the *coordinator* owns the
+        # delegation chain; a delegate that also delegated could loop).
+        reply = yield from self._execute_local(request)
+        try:
+            self.groups.send_to_member(
+                self.group_id,
+                coordinator,
+                PROTO_DELEGATE,
+                ("relay-reply", delegation_id, reply),
+                category="bpeer-delegate",
+                size_bytes=512,
+            )
+        except UnresolvablePeerError:
+            pass
+
+    # -- coordinator discovery (proxy-side resolver queries) ---------------------------------
+
+    def _on_coordinator_query(self, query) -> Optional[Any]:
+        group_id = query.payload
+        if group_id != self.group_id or not self.node.up:
+            return None
+        coordinator = self.coordinator
+        if coordinator is None:
+            return None
+        if coordinator == self.peer_id:
+            address: Optional[Address] = self.endpoint.address
+        else:
+            address = self.endpoint.route_for(coordinator)
+        return (coordinator, address)
+
+    # -- plumbing ----------------------------------------------------------------------------
+
+    def _reply(self, request: ExecRequest, reply: ExecReply) -> None:
+        try:
+            self.endpoint.send(
+                request.reply_to,
+                PROTO_EXEC_REPLY,
+                reply,
+                category="bpeer-reply",
+                size_bytes=768,
+            )
+        except UnresolvablePeerError:
+            pass
+
+    def _on_crash(self) -> None:
+        self._queue.items.clear()
+        self._delegations.clear()
+        self._worker = None
+        self._republisher = None
+
+    def __repr__(self) -> str:
+        role = "coordinator" if self.is_coordinator else "member"
+        return f"<BPeer {self.name} {role} of {self.group_name}>"

@@ -1,0 +1,141 @@
+"""Deployment of semantic b-peer groups.
+
+Bundles the steps §4 describes: create the group identity, derive the
+*semantic advertisement* from the service's WSDL-S annotations, place one
+b-peer (with its service implementation) per host, join them into the
+logical group, publish the advertisement network-wide, and bootstrap the
+first Bully election.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..backend.services import ServiceImplementation
+from ..p2p.advertisement import SemanticAdvertisement
+from ..p2p.ids import PeerGroupId, PeerId
+from ..p2p.peer import Peer
+from ..qos.metrics import QosMetrics
+from ..simnet.network import Network
+from ..wsdl.annotations import SemanticAnnotation
+from .bpeer import BPeer
+
+__all__ = ["BPeerGroup", "deploy_bpeer_group", "semantic_advertisement_for"]
+
+
+def semantic_advertisement_for(
+    group_name: str,
+    annotation: SemanticAnnotation,
+    ontology_uri: str,
+    description: str = "",
+    qos: Optional["QosMetrics"] = None,
+) -> SemanticAdvertisement:
+    """Build the group's semantic advertisement from a WSDL-S annotation.
+
+    ``qos`` optionally attaches the §2.4 QoS annotation (advertised
+    expected time / cost / reliability) that QoS-aware proxies use as a
+    selection prior.
+    """
+    return SemanticAdvertisement(
+        group_id=PeerGroupId.from_name(group_name),
+        name=group_name,
+        action=annotation.action,
+        inputs=annotation.inputs,
+        outputs=annotation.outputs,
+        ontology_uri=ontology_uri,
+        description=description,
+        qos_time=qos.time if qos is not None else None,
+        qos_cost=qos.cost if qos is not None else None,
+        qos_reliability=qos.reliability if qos is not None else None,
+    )
+
+
+@dataclass
+class BPeerGroup:
+    """A deployed b-peer group: identity, advertisement, replicas."""
+
+    group_id: PeerGroupId
+    name: str
+    advertisement: SemanticAdvertisement
+    peers: List[BPeer] = field(default_factory=list)
+
+    def coordinator_peer(self) -> Optional[BPeer]:
+        """The replica that currently believes it coordinates (if any)."""
+        for peer in self.peers:
+            if peer.node.up and peer.is_coordinator:
+                return peer
+        return None
+
+    def coordinator_id(self) -> Optional[PeerId]:
+        peer = self.coordinator_peer()
+        return peer.peer_id if peer is not None else None
+
+    def alive_peers(self) -> List[BPeer]:
+        return [peer for peer in self.peers if peer.node.up]
+
+    def crash_coordinator(self) -> Optional[BPeer]:
+        """Fail-stop the current coordinator's host; returns the victim."""
+        victim = self.coordinator_peer()
+        if victim is not None:
+            victim.node.crash()
+        return victim
+
+    def total_requests_executed(self) -> int:
+        return sum(peer.requests_executed for peer in self.peers)
+
+
+def deploy_bpeer_group(
+    network: Network,
+    rendezvous: Peer,
+    group_name: str,
+    annotation: SemanticAnnotation,
+    implementations: Sequence[ServiceImplementation],
+    ontology_uri: str = "",
+    host_prefix: Optional[str] = None,
+    heartbeat_interval: float = 1.0,
+    miss_threshold: int = 3,
+    load_sharing: bool = False,
+    advertise_remote: bool = True,
+    advertise_qos: Optional[QosMetrics] = None,
+) -> BPeerGroup:
+    """Place one b-peer per implementation and wire the group together.
+
+    Each implementation gets its own host (``<prefix><i>``), mirroring the
+    paper's one-peer-per-machine testbed.  Every b-peer publishes the
+    group's semantic advertisement into the rendezvous' SRDI index so that
+    SWS-proxies anywhere can discover the group.
+    """
+    if not implementations:
+        raise ValueError("a b-peer group needs at least one implementation")
+    prefix = host_prefix or f"bpeer-{group_name}-"
+    advertisement = semantic_advertisement_for(
+        group_name,
+        annotation,
+        ontology_uri,
+        description=f"b-peer group {group_name}",
+        qos=advertise_qos,
+    )
+    group = BPeerGroup(
+        group_id=advertisement.group_id,
+        name=group_name,
+        advertisement=advertisement,
+    )
+    for index, implementation in enumerate(implementations):
+        node = network.add_host(f"{prefix}{index}")
+        bpeer = BPeer(
+            node,
+            group_id=group.group_id,
+            group_name=group_name,
+            implementation=implementation,
+            heartbeat_interval=heartbeat_interval,
+            miss_threshold=miss_threshold,
+            load_sharing=load_sharing,
+        )
+        bpeer.start(rendezvous)
+        # Every replica keeps the group advertisement alive (idempotent in
+        # the SRDI index), so it survives any single publisher's death.
+        bpeer.keep_published(advertisement, remote=advertise_remote)
+        group.peers.append(bpeer)
+    group.peers[0].bootstrap_election()
+    return group

@@ -1,0 +1,31 @@
+"""Whisper's error taxonomy."""
+
+from __future__ import annotations
+
+__all__ = [
+    "WhisperError",
+    "NoMatchingGroupError",
+    "NoCoordinatorError",
+    "InvocationFailedError",
+    "AnnotationError",
+]
+
+
+class WhisperError(Exception):
+    """Base class for Whisper-level failures."""
+
+
+class AnnotationError(WhisperError):
+    """A service's semantic annotations are missing or unresolvable."""
+
+
+class NoMatchingGroupError(WhisperError):
+    """Semantic discovery found no b-peer group for the service's semantics."""
+
+
+class NoCoordinatorError(WhisperError):
+    """A matching group exists but no coordinator could be reached."""
+
+
+class InvocationFailedError(WhisperError):
+    """The request could not be completed after retries and re-binding."""

@@ -1,0 +1,347 @@
+"""The SWS-Proxy (§3.2).
+
+"When a Web service receives a request it forwards it to the Semantic Web
+Service proxy (SWS-proxy).  Proxies contact the JXTA infrastructure and
+using the Discovery Service locate a semantic group of peers that can
+satisfy the client's request."
+
+The proxy's lifecycle per request:
+
+1. **discover** — find a semantic advertisement matching the service's
+   action/input/output annotations (local cache first, then a remote
+   discovery query — the paper's ``findPeerGroupAdv``);
+2. **bind** — resolve the group's current coordinator (a resolver query
+   answered by group members) and cache the binding;
+3. **invoke** — send the request to the bound coordinator and wait;
+4. **recover** — on timeout or a ``not-coordinator`` redirect, drop the
+   binding and go back to step 2.  Re-binding after a coordinator crash is
+   the second component of the paper's multi-second worst-case RTT (§5).
+
+The proxy also "translates the data received to a suitable format" (§4.2):
+results are validated against the service's WSDL schema before being
+handed back to the Web service.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from ..ontology.match import ConceptMatcher, DegreeOfMatch
+from ..p2p.advertisement import SemanticAdvertisement
+from ..p2p.endpoint import EndpointMessage, UnresolvablePeerError
+from ..p2p.ids import PeerGroupId, PeerId
+from ..p2p.peer import Peer
+from ..qos.metrics import QosProfile
+from ..qos.selection import QosSelector
+from ..simnet.events import AnyOf
+from ..simnet.message import Address
+from ..soap.fault import SoapFault
+from ..wsdl.schema import SchemaError
+from .bpeer import COORD_HANDLER, PROTO_EXEC, PROTO_EXEC_REPLY, ExecReply, ExecRequest
+from .errors import InvocationFailedError, NoCoordinatorError, NoMatchingGroupError
+from .matching import GroupMatch, SemanticGroupMatcher
+from .sws import SemanticWebService
+
+__all__ = ["SwsProxy", "ProxyStats"]
+
+
+@dataclass
+class ProxyStats:
+    """Operational counters for benchmark reporting."""
+
+    invocations: int = 0
+    successes: int = 0
+    faults: int = 0
+    timeouts: int = 0
+    redirects: int = 0
+    rebinds: int = 0
+    remote_discoveries: int = 0
+    translation_failures: int = 0
+    #: (started_at, completed_at) of invocations that needed recovery.
+    failover_durations: List[float] = field(default_factory=list)
+
+
+@dataclass
+class _Binding:
+    group_id: PeerGroupId
+    coordinator: PeerId
+    address: Optional[Address]
+
+
+class SwsProxy(Peer):
+    """One Web service's proxy onto the P2P back-end."""
+
+    def __init__(
+        self,
+        node,
+        sws: SemanticWebService,
+        matcher: ConceptMatcher,
+        min_degree: DegreeOfMatch = DegreeOfMatch.EXACT,
+        request_timeout: float = 2.0,
+        max_attempts: int = 8,
+        discovery_timeout: float = 1.0,
+        coordinator_timeout: float = 1.0,
+        qos_selector: Optional[QosSelector] = None,
+        name: Optional[str] = None,
+    ):
+        super().__init__(node, name=name or f"proxy:{sws.name}")
+        self.sws = sws
+        self.group_matcher = SemanticGroupMatcher(matcher, min_degree=min_degree)
+        self.request_timeout = request_timeout
+        self.max_attempts = max_attempts
+        self.discovery_timeout = discovery_timeout
+        self.coordinator_timeout = coordinator_timeout
+        self.qos_selector = qos_selector or QosSelector()
+        self.stats = ProxyStats()
+        self._request_ids = itertools.count(1)
+        self._pending: Dict[int, Any] = {}
+        self._bindings: Dict[PeerGroupId, _Binding] = {}
+        self._group_profiles: Dict[str, QosProfile] = {}
+        self.endpoint.register_listener(PROTO_EXEC_REPLY, self._on_reply)
+
+    # -- discovery (the paper's findPeerGroupAdv) ------------------------------------------
+
+    def find_peer_group_adv(self, operation: str) -> Generator:
+        """Locate semantic advertisements matching ``operation``'s semantics.
+
+        Mirrors §3.2: local advertisements are scanned first; only if none
+        match is a remote discovery query issued.  Returns the list of
+        matches, best first (``yield from``).
+        """
+        annotation = self.sws.annotation(operation)
+        local = self.discovery.get_local_advertisements(SemanticAdvertisement)
+        matches = self.group_matcher.find_all(annotation, local)
+        if matches:
+            return matches
+        self.stats.remote_discoveries += 1
+        # Fast path: query by the exact action concept (threshold=1 returns
+        # as soon as the first response lands; the rendezvous answers with
+        # every matching SRDI document in one message).
+        remote = yield from self.discovery.get_remote_advertisements(
+            SemanticAdvertisement,
+            attribute="Action",
+            value=annotation.action,
+            timeout=self.discovery_timeout,
+            threshold=1,
+        )
+        matches = self.group_matcher.find_all(annotation, remote)
+        if matches:
+            return matches
+        # Slow path: groups advertising an *equivalent or related* action
+        # concept carry a different Action attribute; fetch everything and
+        # let the semantic matcher decide.
+        remote = yield from self.discovery.get_remote_advertisements(
+            SemanticAdvertisement, timeout=self.discovery_timeout
+        )
+        return self.group_matcher.find_all(annotation, remote)
+
+    def _choose_group(self, matches: List[GroupMatch]) -> GroupMatch:
+        """Among equally good semantic matches, prefer the best QoS (§2.4)."""
+        if len(matches) == 1:
+            return matches[0]
+        best_degree = matches[0].degree
+        tied = [m for m in matches if m.degree == best_degree]
+        if len(tied) == 1:
+            return tied[0]
+        candidates = {
+            m.advertisement.key(): self._profile_for(
+                m.advertisement.key(), m.advertisement
+            ).snapshot()
+            for m in tied
+        }
+        chosen_key = self.qos_selector.select(candidates)
+        for match in tied:
+            if match.advertisement.key() == chosen_key:
+                return match
+        return tied[0]
+
+    def _profile_for(
+        self, group_key: str, advertisement: Optional[SemanticAdvertisement] = None
+    ) -> QosProfile:
+        if group_key not in self._group_profiles:
+            profile = QosProfile()
+            # §2.4 extension: a group advertising its QoS seeds the proxy's
+            # profile, so selection is informed before the first invocation.
+            if advertisement is not None and advertisement.has_qos:
+                profile = QosProfile(
+                    cost=advertisement.qos_cost,
+                    initial_time=advertisement.qos_time,
+                    initial_reliability=advertisement.qos_reliability,
+                )
+            self._group_profiles[group_key] = profile
+        return self._group_profiles[group_key]
+
+    # -- binding ----------------------------------------------------------------------------
+
+    def resolve_coordinator(self, group_id: PeerGroupId) -> Generator:
+        """Ask the group who currently coordinates it (``yield from``)."""
+        answers: List[Tuple[PeerId, Optional[Address]]] = []
+        done = self.env.event()
+
+        def on_response(response) -> None:
+            answers.append(response.payload)
+            if not done.triggered:
+                done.succeed()
+
+        query_id = self.resolver.send_query(
+            COORD_HANDLER, group_id, on_response=on_response, size_bytes=128
+        )
+        timer = self.env.timeout(self.coordinator_timeout)
+        yield AnyOf(self.env, [done, timer])
+        self.resolver.cancel_query(query_id)
+        if not answers:
+            raise NoCoordinatorError(f"no coordinator response for {group_id}")
+        coordinator, address = answers[0]
+        binding = _Binding(group_id=group_id, coordinator=coordinator, address=address)
+        self._bindings[group_id] = binding
+        if address is not None:
+            self.endpoint.add_route(coordinator, address)
+        return binding
+
+    def drop_binding(self, group_id: PeerGroupId) -> None:
+        """Forget a (presumed stale) binding; next invoke re-binds."""
+        if self._bindings.pop(group_id, None) is not None:
+            self.stats.rebinds += 1
+
+    # -- invocation ----------------------------------------------------------------------------
+
+    def invoke(
+        self,
+        operation: str,
+        arguments: Dict[str, Any],
+        timeout: Optional[float] = None,
+    ) -> Generator:
+        """Execute ``operation`` on the b-peer back-end (``yield from``).
+
+        Returns the (translated) result value; raises
+        :class:`~repro.soap.fault.SoapFault` for application errors,
+        :class:`NoMatchingGroupError` / :class:`InvocationFailedError` for
+        system-level failures the retries could not mask.
+        """
+        self.stats.invocations += 1
+        started_at = self.env.now
+        per_request_timeout = timeout if timeout is not None else self.request_timeout
+
+        matches = yield from self.find_peer_group_adv(operation)
+        if not matches:
+            raise NoMatchingGroupError(
+                f"no b-peer group matches {self.sws.name}.{operation}"
+            )
+        match = self._choose_group(matches)
+        advertisement = match.advertisement
+        group_id = advertisement.group_id
+        profile = self._profile_for(advertisement.key())
+        recovered = False
+
+        for _attempt in range(self.max_attempts):
+            binding = self._bindings.get(group_id)
+            if binding is None:
+                try:
+                    binding = yield from self.resolve_coordinator(group_id)
+                except NoCoordinatorError:
+                    recovered = True
+                    # Group may be mid-election: back off one beat and retry.
+                    yield self.env.timeout(0.25)
+                    continue
+            reply = yield from self._send_and_wait(
+                binding, operation, arguments, per_request_timeout
+            )
+            if reply is None:  # timeout — coordinator is likely dead
+                self.stats.timeouts += 1
+                profile.record_failure()
+                self.drop_binding(group_id)
+                recovered = True
+                continue
+            if reply.kind == "result":
+                self.stats.successes += 1
+                profile.record_success(self.env.now - started_at)
+                if recovered:
+                    self.stats.failover_durations.append(self.env.now - started_at)
+                return self._translate(operation, reply.value)
+            if reply.kind == "fault":
+                self.stats.faults += 1
+                raise SoapFault(reply.fault_code or "Server", str(reply.value))
+            if reply.kind == "not-coordinator":
+                self.stats.redirects += 1
+                recovered = True
+                if reply.coordinator is not None:
+                    coordinator, address = reply.coordinator
+                    self._bindings[group_id] = _Binding(group_id, coordinator, address)
+                    if address is not None:
+                        self.endpoint.add_route(coordinator, address)
+                else:
+                    self.drop_binding(group_id)
+                    yield self.env.timeout(0.1)
+                continue
+            if reply.kind == "cannot-serve":
+                # Every replica's backend is down: a genuine application
+                # outage that redundancy cannot mask.
+                self.stats.faults += 1
+                profile.record_failure()
+                raise SoapFault.server(
+                    f"all b-peers of {advertisement.name!r} cannot serve"
+                )
+        profile.record_failure()
+        raise InvocationFailedError(
+            f"{self.sws.name}.{operation} failed after {self.max_attempts} attempts"
+        )
+
+    def _send_and_wait(
+        self,
+        binding: _Binding,
+        operation: str,
+        arguments: Dict[str, Any],
+        timeout: float,
+    ) -> Generator:
+        request = ExecRequest(
+            request_id=next(self._request_ids),
+            group_id=binding.group_id,
+            operation=operation,
+            arguments=arguments,
+            reply_to=self.peer_id,
+            reply_addr=self.endpoint.address,
+        )
+        done = self.env.event()
+        self._pending[request.request_id] = done
+        try:
+            try:
+                self.endpoint.send(
+                    binding.coordinator,
+                    PROTO_EXEC,
+                    request,
+                    category="bpeer-request",
+                    size_bytes=700,
+                )
+            except UnresolvablePeerError:
+                return None
+            timer = self.env.timeout(timeout)
+            outcome = yield AnyOf(self.env, [done, timer])
+            if done in outcome:
+                return outcome[done]
+            return None
+        finally:
+            self._pending.pop(request.request_id, None)
+
+    def _on_reply(self, message: EndpointMessage) -> None:
+        reply: ExecReply = message.payload
+        done = self._pending.get(reply.request_id)
+        if done is not None and not done.triggered:
+            done.succeed(reply)
+
+    # -- data translation (§4.2) ------------------------------------------------------------------
+
+    def _translate(self, operation: str, value: Any) -> Any:
+        """Validate/format the b-peer result against the WSDL schema."""
+        parts = self.sws.operation(operation).outputs
+        if not parts:
+            return value
+        element = parts[0].element.split(":", 1)[-1]
+        schema = self.sws.definitions.schema
+        if element in schema.elements:
+            try:
+                schema.validate_element(element, value)
+            except SchemaError:
+                self.stats.translation_failures += 1
+        return value

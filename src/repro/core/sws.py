@@ -1,0 +1,78 @@
+"""Semantic Web services.
+
+"Whisper supports the notion of semantic Web services ... the result of
+the evolution of the syntactic definition of Web services and the semantic
+Web" (§3.1).  A :class:`SemanticWebService` pairs a WSDL-S document with
+the ontology its annotations point into, and exposes the accessors the
+paper's SWS-proxy listing uses (``get_sem_action``, ``get_sem_input``,
+``get_sem_output``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..ontology.ontology import Ontology
+from ..wsdl.annotations import SemanticAnnotation
+from ..wsdl.definitions import Definitions, Operation
+from .errors import AnnotationError
+
+__all__ = ["SemanticWebService"]
+
+
+class SemanticWebService:
+    """A WSDL-S-described service grounded in an ontology."""
+
+    def __init__(self, definitions: Definitions, ontology: Ontology):
+        self.definitions = definitions
+        self.ontology = ontology
+        self._check_annotations()
+
+    @property
+    def name(self) -> str:
+        return self.definitions.name
+
+    def operations(self) -> List[str]:
+        return [operation.name for operation in self.definitions.operations()]
+
+    def operation(self, name: str) -> Operation:
+        for interface in self.definitions.interfaces.values():
+            if name in interface.operations:
+                return interface.operations[name]
+        raise AnnotationError(f"service {self.name!r} has no operation {name!r}")
+
+    def annotation(self, operation_name: str) -> SemanticAnnotation:
+        return self.operation(operation_name).annotation()
+
+    # -- the paper's accessor names (§3.2 listing) ------------------------------------
+
+    def get_sem_action(self, operation_name: str) -> str:
+        return self.annotation(operation_name).action
+
+    def get_sem_input(self, operation_name: str) -> Tuple[str, ...]:
+        return self.annotation(operation_name).inputs
+
+    def get_sem_output(self, operation_name: str) -> Tuple[str, ...]:
+        return self.annotation(operation_name).outputs
+
+    # -- validation ---------------------------------------------------------------------
+
+    def _check_annotations(self) -> None:
+        operations = self.definitions.operations()
+        if not operations:
+            raise AnnotationError(f"service {self.name!r} declares no operations")
+        for operation in operations:
+            if not operation.is_annotated:
+                raise AnnotationError(
+                    f"operation {operation.name!r} of {self.name!r} is not fully "
+                    "annotated (WSDL alone gives only syntactic information)"
+                )
+            unresolved = operation.annotation().unresolved_in(self.ontology)
+            if unresolved:
+                raise AnnotationError(
+                    f"operation {operation.name!r} references concepts missing "
+                    f"from the ontology: {unresolved}"
+                )
+
+    def __repr__(self) -> str:
+        return f"<SemanticWebService {self.name} ops={self.operations()}>"

@@ -1,0 +1,290 @@
+"""The whole-system builder.
+
+:class:`WhisperSystem` assembles a complete deployment — simulated LAN,
+rendezvous, web servers with semantic Web services and SWS-proxies,
+semantic b-peer groups with backends — exactly the architecture of the
+paper's Figures 1–3.  Examples and benchmarks build on this facade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from ..backend.datasets import student_database
+from ..backend.services import (
+    ServiceImplementation,
+    student_lookup_operational,
+    student_lookup_warehouse,
+)
+from ..backend.warehouse import build_warehouse
+from ..ontology.domains import b2b_ontology
+from ..ontology.match import ConceptMatcher, DegreeOfMatch
+from ..ontology.ontology import Ontology
+from ..ontology.reasoner import Reasoner
+from ..p2p.peer import Peer
+from ..simnet.environment import Environment
+from ..simnet.failure import FailureInjector
+from ..simnet.network import Network
+from ..simnet.node import Node
+from ..simnet.rng import RngRegistry
+from ..simnet.trace import MessageTrace
+from ..soap.client import SoapClient
+from ..wsdl.definitions import Definitions
+from ..wsdl.samples import student_management_wsdl
+from .bpeer_group import BPeerGroup, deploy_bpeer_group
+from .proxy import SwsProxy
+from .sws import SemanticWebService
+from .webservice import PlainWebService, WhisperWebService
+
+__all__ = ["WhisperSystem", "DeployedService"]
+
+
+@dataclass
+class DeployedService:
+    """One fully wired service: front-end, proxy, and back-end group(s).
+
+    ``group`` is the group backing the service's first operation (the
+    common single-operation case); ``groups`` maps every operation to its
+    own b-peer group for multi-operation services.
+    """
+
+    sws: SemanticWebService
+    web_service: WhisperWebService
+    proxy: SwsProxy
+    group: BPeerGroup
+    groups: Dict[str, BPeerGroup] = None
+
+    def __post_init__(self):
+        if self.groups is None:
+            self.groups = {
+                operation: self.group for operation in self.sws.operations()
+            }
+
+    @property
+    def address(self):
+        return self.web_service.address
+
+    @property
+    def path(self) -> str:
+        return self.web_service.path
+
+    def group_for(self, operation: str) -> BPeerGroup:
+        return self.groups[operation]
+
+
+class WhisperSystem:
+    """A complete Whisper deployment on one simulated LAN."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        ontology: Optional[Ontology] = None,
+        heartbeat_interval: float = 1.0,
+        miss_threshold: int = 3,
+        min_degree: DegreeOfMatch = DegreeOfMatch.EXACT,
+        load_sharing: bool = False,
+        record_trace_details: bool = False,
+    ):
+        self.env = Environment()
+        self.trace = MessageTrace(record_details=record_trace_details)
+        self.network = Network(self.env, trace=self.trace, rng=RngRegistry(seed))
+        self.failures = FailureInjector(self.network)
+        self.ontology = ontology if ontology is not None else b2b_ontology()
+        self.reasoner = Reasoner(self.ontology)
+        self.matcher = ConceptMatcher(self.reasoner)
+        self.heartbeat_interval = heartbeat_interval
+        self.miss_threshold = miss_threshold
+        self.min_degree = min_degree
+        self.load_sharing = load_sharing
+        self.services: Dict[str, DeployedService] = {}
+
+        rdv_node = self.network.add_host("rdv0")
+        self.rendezvous = Peer(rdv_node, is_rendezvous=True)
+        self.rendezvous.publish_self(remote=False)
+
+    # -- deployment ------------------------------------------------------------------
+
+    def deploy_service(
+        self,
+        definitions: Definitions,
+        implementations,
+        web_host: Optional[str] = None,
+        group_name: Optional[str] = None,
+        request_timeout: float = 2.0,
+        max_attempts: int = 8,
+    ) -> DeployedService:
+        """Deploy one semantic Web service backed by b-peer group(s).
+
+        ``implementations`` is either a sequence of
+        :class:`~repro.backend.services.ServiceImplementation` (all backing
+        the service's *first* operation — the common case) or a mapping
+        ``{operation_name: [implementations]}`` for multi-operation
+        services, which get one b-peer group per operation.
+        """
+        sws = SemanticWebService(definitions, self.ontology)
+        if isinstance(implementations, dict):
+            per_operation = dict(implementations)
+            unknown = set(per_operation) - set(sws.operations())
+            if unknown:
+                raise ValueError(f"implementations for unknown operations: {unknown}")
+        else:
+            per_operation = {sws.operations()[0]: list(implementations)}
+
+        groups: Dict[str, BPeerGroup] = {}
+        for operation, operation_impls in per_operation.items():
+            annotation = sws.annotation(operation)
+            base_name = group_name or f"grp-{sws.name}"
+            name = base_name if len(per_operation) == 1 else f"{base_name}-{operation}"
+            groups[operation] = deploy_bpeer_group(
+                self.network,
+                self.rendezvous,
+                group_name=name,
+                annotation=annotation,
+                implementations=operation_impls,
+                ontology_uri=self.ontology.uri,
+                heartbeat_interval=self.heartbeat_interval,
+                miss_threshold=self.miss_threshold,
+                load_sharing=self.load_sharing,
+            )
+
+        host_name = web_host or f"web-{sws.name}"
+        web_node = self.network.add_host(host_name)
+        proxy = SwsProxy(
+            web_node,
+            sws,
+            self.matcher,
+            min_degree=self.min_degree,
+            request_timeout=request_timeout,
+            max_attempts=max_attempts,
+        )
+        proxy.attach_to(self.rendezvous)
+        proxy.publish_self(remote=False)
+        web_service = WhisperWebService(web_node, sws, proxy)
+        first_group = groups[next(iter(per_operation))]
+        deployed = DeployedService(
+            sws=sws,
+            web_service=web_service,
+            proxy=proxy,
+            group=first_group,
+            groups=groups,
+        )
+        self.services[sws.name] = deployed
+        return deployed
+
+    def deploy_plain_service(
+        self,
+        service_name: str,
+        implementation: ServiceImplementation,
+        web_host: Optional[str] = None,
+    ) -> PlainWebService:
+        """Deploy the no-Whisper baseline (implementation on the web host)."""
+        node = self.network.add_host(web_host or f"web-{service_name}")
+        return PlainWebService(node, service_name, implementation)
+
+    def add_client(self, name: str = "client0", timeout: float = 5.0):
+        """Add a client host; returns ``(node, soap_client)``."""
+        node = self.network.add_host(name)
+        return node, SoapClient(node, default_timeout=timeout)
+
+    # -- canonical scenario (§3's student management service) ----------------------------
+
+    def deploy_student_service(
+        self,
+        replicas: int = 4,
+        students: int = 200,
+        warehouse_every: int = 2,
+        **deploy_kwargs,
+    ) -> DeployedService:
+        """The paper's running example, with alternating backend flavours.
+
+        Even-indexed replicas read the operational database; every
+        ``warehouse_every``-th replica reads the data warehouse instead, so
+        the §4.1 DB→warehouse failover is exercised out of the box.
+        Replicas get independent copies of the operational store so a
+        backend failure can be injected per-replica.
+        """
+        if replicas < 1:
+            raise ValueError("need at least one replica")
+        implementations: List[ServiceImplementation] = []
+        master = student_database(students)
+        warehouse = build_warehouse(master)
+        for index in range(replicas):
+            if warehouse_every and index % warehouse_every == 1:
+                implementations.append(student_lookup_warehouse(warehouse))
+            else:
+                replica_db = student_database(students)
+                implementations.append(student_lookup_operational(replica_db))
+        return self.deploy_service(
+            student_management_wsdl(), implementations, web_host="web0",
+            **deploy_kwargs,
+        )
+
+    # -- simulation control ---------------------------------------------------------------
+
+    def settle(self, duration: float = 2.0) -> None:
+        """Let leases, joins, SRDI pushes, and the first election finish."""
+        self.env.run(until=self.env.now + duration)
+
+    def run_until(self, time: float) -> None:
+        self.env.run(until=time)
+
+    def run_process(self, generator, node: Optional[Node] = None):
+        """Spawn and run a process to completion; returns its value."""
+        owner = node if node is not None else self.rendezvous.node
+        process = owner.spawn(generator)
+        return self.env.run(until=process)
+
+    def reset_counters(self) -> None:
+        """Zero the message trace (e.g. after warm-up, before measuring)."""
+        self.trace.reset()
+
+    # -- health reporting --------------------------------------------------------------
+
+    def status_report(self) -> Dict[str, Any]:
+        """A structured health snapshot of the whole deployment.
+
+        Covers what an operator would check: host liveness, per-service
+        group membership and coordination state, proxy statistics, and
+        headline network counters.
+        """
+        hosts_up = sum(1 for node in self.network.hosts.values() if node.up)
+        services = {}
+        for name, deployed in self.services.items():
+            groups = {}
+            for operation, group in deployed.groups.items():
+                coordinator = group.coordinator_peer()
+                replicas_qos = {
+                    peer.name: {
+                        "executed": peer.requests_executed,
+                        "mean_time": peer.qos_profile.snapshot().time,
+                        "reliability": peer.qos_profile.empirical_reliability,
+                    }
+                    for peer in group.peers
+                }
+                groups[operation] = {
+                    "group": group.name,
+                    "replicas": len(group.peers),
+                    "alive": len(group.alive_peers()),
+                    "coordinator": coordinator.name if coordinator else None,
+                    "requests_executed": group.total_requests_executed(),
+                    "replica_qos": replicas_qos,
+                }
+            stats = deployed.proxy.stats
+            services[name] = {
+                "address": deployed.address,
+                "groups": groups,
+                "proxy": {
+                    "invocations": stats.invocations,
+                    "successes": stats.successes,
+                    "faults": stats.faults,
+                    "timeouts": stats.timeouts,
+                    "rebinds": stats.rebinds,
+                },
+            }
+        return {
+            "time": self.env.now,
+            "hosts": {"total": len(self.network.hosts), "up": hosts_up},
+            "network": self.trace.snapshot(),
+            "services": services,
+        }

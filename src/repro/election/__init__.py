@@ -1,0 +1,18 @@
+"""Coordinator election and failure detection for b-peer groups.
+
+Implements the Bully algorithm the paper's b-peers run (§4.1–4.2) plus the
+heartbeat failure detector that triggers it.  The end-to-end failover time
+— detection + election + re-binding — is what produces the paper's
+"worst case ... several seconds" RTT (§5).
+"""
+
+from .bully import BullyElector, ElectionStats
+from .coordinator import GroupCoordinator
+from .detector import HeartbeatMonitor
+
+__all__ = [
+    "BullyElector",
+    "ElectionStats",
+    "GroupCoordinator",
+    "HeartbeatMonitor",
+]

@@ -1,0 +1,254 @@
+"""The Bully election algorithm (Garcia-Molina, 1982).
+
+"If one replica fails another replica is elected (using the Bully
+algorithm) and used immediately" (§4.1); "more importantly they implement
+the Bully algorithm to provide a fundamental mechanism to enable a good
+fault-tolerance" (§4.2).
+
+Peers are totally ordered by their peer-ID hex.  On suspicion of the
+coordinator, a peer sends ELECTION to everyone above it:
+
+* nobody answers within ``answer_timeout`` → it wins, broadcasts
+  COORDINATOR;
+* somebody ANSWERs → it waits ``coordinator_timeout`` for a COORDINATOR
+  broadcast, restarting the election if none arrives (the answering peer
+  died mid-election).
+
+Message complexity is O(n²) worst case (lowest peer detects) and O(n) best
+case (highest surviving peer detects) — measured by Ablation C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..simnet.events import AnyOf, Interrupt
+from ..p2p.endpoint import UnresolvablePeerError
+from ..p2p.ids import PeerGroupId, PeerId
+from ..p2p.peergroup import GroupService
+
+__all__ = ["BullyElector", "PROTOCOL", "ElectionStats"]
+
+PROTOCOL = "whisper:election"
+
+#: Wire message kinds.
+ELECTION = "election"
+ANSWER = "answer"
+COORDINATOR = "coordinator"
+
+
+@dataclass
+class ElectionStats:
+    """Counters for benchmark reporting."""
+
+    elections_started: int = 0
+    elections_won: int = 0
+    election_messages_sent: int = 0
+
+
+class BullyElector:
+    """Runs Bully elections for one peer within one group."""
+
+    def __init__(
+        self,
+        groups: GroupService,
+        group_id: PeerGroupId,
+        answer_timeout: float = 0.5,
+        coordinator_timeout: float = 1.5,
+    ):
+        self.groups = groups
+        self.group_id = group_id
+        self.endpoint = groups.endpoint
+        self.env = self.endpoint.node.env
+        self.answer_timeout = answer_timeout
+        self.coordinator_timeout = coordinator_timeout
+
+        self.coordinator: Optional[PeerId] = None
+        self.election_in_progress = False
+        self.stats = ElectionStats()
+        self._answer_event = None
+        self._coordinator_event = None
+        self._listeners: List[Callable[[PeerId], None]] = []
+        groups.register_group_listener(PROTOCOL, self._on_message)
+        groups.on_membership_change(self._on_membership_change)
+
+    # -- public API -----------------------------------------------------------------
+
+    @property
+    def my_id(self) -> PeerId:
+        return self.endpoint.peer_id
+
+    @property
+    def is_coordinator(self) -> bool:
+        return self.coordinator == self.my_id
+
+    def on_coordinator_elected(self, listener: Callable[[PeerId], None]) -> None:
+        """Observe every COORDINATOR announcement this peer accepts."""
+        self._listeners.append(listener)
+
+    def start_election(self) -> None:
+        """Kick off an election (no-op if one is already running here).
+
+        Also a no-op when this peer is not (or no longer) a member — e.g.
+        a stale ELECTION message arriving after a graceful shutdown.
+        """
+        if self.election_in_progress or not self.endpoint.node.up:
+            return
+        if not self.groups.is_member(self.group_id):
+            return
+        self.election_in_progress = True
+        self.stats.elections_started += 1
+        self.endpoint.node.spawn(
+            self._run_election(), name=f"bully:{self.endpoint.node.name}"
+        )
+
+    # -- the election round ------------------------------------------------------------
+
+    def _run_election(self):
+        try:
+            while True:
+                higher = self._higher_members()
+                if not higher:
+                    self._become_coordinator()
+                    return
+                # Arm both events BEFORE sending: a COORDINATOR broadcast
+                # may land at any instant during the round, including while
+                # we are still waiting for ANSWERs.
+                self._answer_event = self.env.event()
+                self._coordinator_event = self.env.event()
+                for peer in sorted(higher, key=lambda pid: pid.uuid_hex):
+                    self._send(peer, ELECTION)
+                timer = self.env.timeout(self.answer_timeout)
+                outcome = yield AnyOf(
+                    self.env, [self._answer_event, self._coordinator_event, timer]
+                )
+                if self._coordinator_event in outcome:
+                    return  # someone higher already announced
+                if self._answer_event not in outcome:
+                    # Silence above us: we win.
+                    self._become_coordinator()
+                    return
+                # Someone higher is alive; wait for its COORDINATOR.
+                coord_timer = self.env.timeout(self.coordinator_timeout)
+                outcome = yield AnyOf(self.env, [self._coordinator_event, coord_timer])
+                if self._coordinator_event in outcome:
+                    return  # coordinator accepted via _on_message
+                if self.coordinator is not None and (
+                    self.coordinator.uuid_hex > self.my_id.uuid_hex
+                ):
+                    # An announcement slipped past the event (processed just
+                    # before this round armed it): accept it.
+                    return
+                # The higher peer died mid-election; drop it and retry.
+                self._prune_dead_candidates(higher)
+        except Interrupt:
+            return
+        finally:
+            self.election_in_progress = False
+            self._answer_event = None
+            self._coordinator_event = None
+
+    def _higher_members(self) -> List[PeerId]:
+        mine = self.my_id.uuid_hex
+        return [
+            member
+            for member in self.groups.members(self.group_id)
+            if member.uuid_hex > mine
+        ]
+
+    def _prune_dead_candidates(self, higher: List[PeerId]) -> None:
+        """After a stalled election, assume the silent higher peers died."""
+        for peer in higher:
+            self.groups.remove_member(self.group_id, peer)
+
+    def _become_coordinator(self) -> None:
+        view = self.groups.groups.get(self.group_id)
+        if view is None or self.my_id not in view.members:
+            return  # left the group mid-election
+        self.coordinator = self.my_id
+        self.stats.elections_won += 1
+        for member in view.sorted_members():
+            if member != self.my_id:
+                self._send(member, COORDINATOR)
+        self._notify(self.my_id)
+
+    # -- messaging -----------------------------------------------------------------------
+
+    def _send(self, peer: PeerId, kind: str) -> None:
+        try:
+            self.groups.send_to_member(
+                self.group_id,
+                peer,
+                PROTOCOL,
+                (kind, self.my_id),
+                category="election",
+                size_bytes=128,
+            )
+            self.stats.election_messages_sent += 1
+        except UnresolvablePeerError:
+            pass
+
+    def _on_message(self, payload, src_peer: PeerId, group_id: PeerGroupId) -> None:
+        if group_id != self.group_id or not self.endpoint.node.up:
+            return
+        if not self.groups.is_member(self.group_id):
+            return  # stale traffic after leaving the group
+        kind, sender = payload
+        if kind == ELECTION:
+            # A lower peer is electing: suppress it and take over.
+            if sender.uuid_hex < self.my_id.uuid_hex:
+                self._send(sender, ANSWER)
+                if self.is_coordinator:
+                    # Already coordinating: a direct re-announcement settles
+                    # the initiator without a fresh broadcast storm.
+                    self._send(sender, COORDINATOR)
+                elif (
+                    self.coordinator is not None
+                    and self.coordinator.uuid_hex > self.my_id.uuid_hex
+                    and self.coordinator in self.groups.members(self.group_id)
+                ):
+                    # A live higher coordinator is known: no need to cascade
+                    # an election of our own (bounds the message storm when
+                    # many peers elect simultaneously).
+                    pass
+                else:
+                    self.start_election()
+        elif kind == ANSWER:
+            if self._answer_event is not None and not self._answer_event.triggered:
+                self._answer_event.succeed(sender)
+        elif kind == COORDINATOR:
+            if sender.uuid_hex < self.my_id.uuid_hex:
+                # A lower peer claims coordination while we are alive: the
+                # Bully invariant is violated (crossed announcements from
+                # concurrent elections).  Re-elect; we or someone higher
+                # will win.
+                self.start_election()
+                return
+            self.coordinator = sender
+            if (
+                self._coordinator_event is not None
+                and not self._coordinator_event.triggered
+            ):
+                self._coordinator_event.succeed(sender)
+            self._notify(sender)
+
+    def _on_membership_change(
+        self, group_id: PeerGroupId, peer_id: PeerId, change: str
+    ) -> None:
+        """Late joiners learn the incumbent; a dead incumbent is forgotten."""
+        if group_id != self.group_id or not self.endpoint.node.up:
+            return
+        if change == "joined" and self.is_coordinator and peer_id != self.my_id:
+            self._send(peer_id, COORDINATOR)
+        elif change in ("left", "removed") and peer_id == self.coordinator:
+            self.coordinator = None
+            if change == "left" and self.groups.is_member(self.group_id):
+                # Graceful departure of the coordinator: elect immediately
+                # instead of waiting for heartbeat detection or the
+                # watchdog — this is what makes planned maintenance fast.
+                self.start_election()
+
+    def _notify(self, coordinator: PeerId) -> None:
+        for listener in self._listeners:
+            listener(coordinator)

@@ -1,0 +1,165 @@
+"""Heartbeat-based failure detection.
+
+Whisper's replicas are *statically redundant*: "all replicas implementing
+services are active at the same time" (§4.1), so detecting a dead
+coordinator is a matter of missed heartbeats, not missed work.  Each
+non-coordinator member pings the coordinator periodically; after
+``miss_threshold`` consecutive unanswered pings the coordinator is
+suspected and the on-failure callback fires (typically starting a Bully
+election).
+
+The detection period — ``interval * miss_threshold`` — is the first of the
+two components of the paper's multi-second worst-case RTT (§5); the bench
+``test_rtt_failover`` sweeps it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Optional
+
+from ..simnet.events import Interrupt
+from ..p2p.endpoint import UnresolvablePeerError
+from ..p2p.ids import PeerGroupId, PeerId
+from ..p2p.peergroup import GroupService
+
+__all__ = ["HeartbeatMonitor", "PROTOCOL"]
+
+PROTOCOL = "whisper:heartbeat"
+
+PING = "ping"
+PONG = "pong"
+
+
+class HeartbeatMonitor:
+    """Monitors one target peer (the group coordinator) from one member."""
+
+    def __init__(
+        self,
+        groups: GroupService,
+        group_id: PeerGroupId,
+        interval: float = 1.0,
+        miss_threshold: int = 3,
+    ):
+        self.groups = groups
+        self.group_id = group_id
+        self.endpoint = groups.endpoint
+        self.env = self.endpoint.node.env
+        self.interval = interval
+        self.miss_threshold = miss_threshold
+
+        self.target: Optional[PeerId] = None
+        #: Set by the owner so pongs can state whether this peer actually
+        #: coordinates; a pong that denies coordination counts as a miss.
+        self.is_coordinator_check: Optional[Callable[[], bool]] = None
+        self.pings_sent = 0
+        self.pongs_received = 0
+        self.failures_reported = 0
+        self._on_failure: Optional[Callable[[PeerId], None]] = None
+        self._seq = itertools.count(1)
+        self._outstanding: Dict[int, bool] = {}
+        self._process = None
+        groups.register_group_listener(PROTOCOL, self._on_message)
+
+    # -- control -----------------------------------------------------------------------
+
+    def watch(self, target: PeerId, on_failure: Callable[[PeerId], None]) -> None:
+        """Start (or retarget) monitoring of ``target``."""
+        self.target = target
+        self._on_failure = on_failure
+        self._outstanding.clear()
+        if target == self.endpoint.peer_id:
+            self.stop()  # a coordinator does not monitor itself
+            return
+        if self._process is None or not self._process.is_alive:
+            self._process = self.endpoint.node.spawn(
+                self._monitor_loop(), name=f"hb:{self.endpoint.node.name}"
+            )
+
+    def stop(self) -> None:
+        """Stop monitoring (the target reference is kept for inspection)."""
+        if self._process is not None and self._process.is_alive:
+            process, self._process = self._process, None
+            if process is not self.env.active_process:
+                process.interrupt("stop")
+        self._process = None
+        self._outstanding.clear()
+
+    @property
+    def active(self) -> bool:
+        return self._process is not None and self._process.is_alive
+
+    # -- the monitoring loop ------------------------------------------------------------
+
+    def _monitor_loop(self):
+        misses = 0
+        try:
+            while True:
+                yield self.env.timeout(self.interval)
+                target = self.target
+                if target is None or target == self.endpoint.peer_id:
+                    return
+                sequence = next(self._seq)
+                self._outstanding[sequence] = False
+                try:
+                    self.groups.send_to_member(
+                        self.group_id,
+                        target,
+                        PROTOCOL,
+                        (PING, self.endpoint.peer_id, sequence),
+                        category="heartbeat",
+                        size_bytes=64,
+                    )
+                    self.pings_sent += 1
+                except UnresolvablePeerError:
+                    pass
+                # Give the pong one interval to arrive, then check it.
+                yield self.env.timeout(self.interval * 0.9)
+                if self.target is not target:
+                    misses = 0
+                    continue
+                if self._outstanding.pop(sequence, False):
+                    misses = 0
+                else:
+                    misses += 1
+                    if misses >= self.miss_threshold:
+                        self.failures_reported += 1
+                        misses = 0
+                        callback, failed = self._on_failure, target
+                        self._process = None
+                        if callback is not None:
+                            callback(failed)
+                        return
+        except Interrupt:
+            return
+
+    # -- message handling -----------------------------------------------------------------
+
+    def _on_message(self, payload, src_peer: PeerId, group_id: PeerGroupId) -> None:
+        if group_id != self.group_id or not self.endpoint.node.up:
+            return
+        kind = payload[0]
+        if kind == PING:
+            _kind, requester, sequence = payload
+            coordinating = (
+                self.is_coordinator_check() if self.is_coordinator_check else True
+            )
+            try:
+                self.groups.send_to_member(
+                    self.group_id,
+                    requester,
+                    PROTOCOL,
+                    (PONG, self.endpoint.peer_id, sequence, coordinating),
+                    category="heartbeat",
+                    size_bytes=64,
+                )
+            except UnresolvablePeerError:
+                pass
+        elif kind == PONG:
+            _kind, _responder, sequence, coordinating = payload
+            if sequence in self._outstanding and coordinating:
+                # A pong denying coordination is deliberately NOT recorded:
+                # the responder is alive but abdicated, so the miss counter
+                # climbs and a re-election follows.
+                self._outstanding[sequence] = True
+                self.pongs_received += 1

@@ -1,0 +1,189 @@
+"""Sample domain ontologies.
+
+Two domains recur in the paper:
+
+* the running scenario (§3): a *student management* service at the
+  University of Madeira, with a ``sm:`` ontology providing
+  ``StudentInformation`` (action), ``StudentID`` (input) and
+  ``StudentInfo`` (output) concepts;
+* the motivating B2B domains (§1): insurance claim processing, bank loan
+  management, and healthcare processes.
+
+Both are built here with deliberate synonym (``owl:equivalentClass``) and
+homonym (same local name, different namespace and semantics) structure, so
+the semantic-vs-syntactic discovery ablation has something real to measure.
+"""
+
+from __future__ import annotations
+
+from .builder import OntologyBuilder
+from .namespaces import Namespace
+from .ontology import Ontology
+
+__all__ = [
+    "SM",
+    "B2B",
+    "LEGACY",
+    "university_ontology",
+    "enterprise_ontology",
+    "b2b_ontology",
+]
+
+#: The paper's student-management namespace (``xmlns:sm`` in §3.1's WSDL-S).
+SM = Namespace("http://uma.pt/ontologies/student#")
+
+#: Enterprise B2B namespace covering the §1 motivating domains.
+B2B = Namespace("http://example.org/ontologies/b2b#")
+
+#: A legacy vocabulary with *homonyms* of B2B terms (same local names,
+#: unrelated meanings) to stress syntactic matching.
+LEGACY = Namespace("http://legacy.example.org/vocab#")
+
+
+def university_ontology() -> Ontology:
+    """The student-management ontology of the paper's running scenario."""
+    builder = OntologyBuilder(
+        "http://uma.pt/ontologies/student", label="Student Management"
+    )
+    builder.namespace("sm", SM.uri)
+
+    # People.
+    builder.concept("sm:Agent", label="Agent")
+    builder.concept("sm:Person", parents=["sm:Agent"], label="Person")
+    builder.concept("sm:Student", parents=["sm:Person"], label="Student")
+    builder.concept("sm:UndergraduateStudent", parents=["sm:Student"])
+    builder.concept("sm:GraduateStudent", parents=["sm:Student"])
+    builder.concept("sm:FacultyMember", parents=["sm:Person"])
+
+    # Identifiers (service inputs).
+    builder.concept("sm:Identifier", label="Identifier")
+    builder.concept("sm:StudentID", parents=["sm:Identifier"], label="Student ID")
+    builder.concept("sm:StudentNumber", parents=["sm:Identifier"])
+    builder.equivalent("sm:StudentID", "sm:StudentNumber")
+    builder.concept("sm:CourseCode", parents=["sm:Identifier"])
+
+    # Information records (service outputs).
+    builder.concept("sm:InformationRecord", label="Information Record")
+    builder.concept(
+        "sm:StudentInfo",
+        parents=["sm:InformationRecord"],
+        label="Student Information",
+        comment="The structure returned by the StudentInformation operation.",
+    )
+    builder.concept("sm:StudentRecord", parents=["sm:InformationRecord"])
+    builder.equivalent("sm:StudentInfo", "sm:StudentRecord")
+    builder.concept("sm:StudentTranscript", parents=["sm:StudentInfo"])
+    builder.concept("sm:StudentContactInfo", parents=["sm:StudentInfo"])
+    builder.concept("sm:CourseInfo", parents=["sm:InformationRecord"])
+
+    # Functional semantics (actions).
+    builder.concept("sm:Action", label="Action")
+    builder.concept("sm:InformationRetrieval", parents=["sm:Action"])
+    builder.concept(
+        "sm:StudentInformation",
+        parents=["sm:InformationRetrieval"],
+        label="Retrieve student information",
+        comment="The action annotated on the StudentManagementUMA interface.",
+    )
+    builder.concept(
+        "sm:StudentTranscriptRetrieval", parents=["sm:StudentInformation"]
+    )
+    builder.concept("sm:CourseInformation", parents=["sm:InformationRetrieval"])
+    builder.concept("sm:DataManagement", parents=["sm:Action"])
+    builder.concept("sm:EnrollStudent", parents=["sm:DataManagement"])
+    builder.concept("sm:UpdateStudentRecord", parents=["sm:DataManagement"])
+
+    # Properties linking the model together.
+    builder.object_property("sm:hasRecord", domain="sm:Student", range="sm:StudentInfo")
+    builder.datatype_property("sm:hasID", domain="sm:Student", range="xsd:string")
+
+    return builder.build()
+
+
+def enterprise_ontology() -> Ontology:
+    """The B2B ontology: insurance claims, bank loans, healthcare (§1)."""
+    builder = OntologyBuilder("http://example.org/ontologies/b2b", label="B2B")
+    builder.namespace("b2b", B2B.uri)
+
+    builder.concept("b2b:Action")
+    builder.concept("b2b:BusinessProcess", parents=["b2b:Action"])
+
+    # Insurance claim processing.
+    builder.concept("b2b:ClaimProcessing", parents=["b2b:BusinessProcess"])
+    builder.concept("b2b:FileClaim", parents=["b2b:ClaimProcessing"])
+    builder.concept("b2b:AssessClaim", parents=["b2b:ClaimProcessing"])
+    builder.concept("b2b:SettleClaim", parents=["b2b:ClaimProcessing"])
+    builder.concept("b2b:ProcessClaim", parents=["b2b:ClaimProcessing"])
+    builder.equivalent("b2b:ProcessClaim", "b2b:AssessClaim")
+
+    # Bank loan management.
+    builder.concept("b2b:LoanManagement", parents=["b2b:BusinessProcess"])
+    builder.concept("b2b:LoanApplication", parents=["b2b:LoanManagement"])
+    builder.concept("b2b:CreditCheck", parents=["b2b:LoanManagement"])
+    builder.concept("b2b:LoanApproval", parents=["b2b:LoanManagement"])
+
+    # Healthcare processes.
+    builder.concept("b2b:PatientCare", parents=["b2b:BusinessProcess"])
+    builder.concept("b2b:ScheduleTreatment", parents=["b2b:PatientCare"])
+    builder.concept("b2b:RetrievePatientRecord", parents=["b2b:PatientCare"])
+
+    # Data concepts.
+    builder.concept("b2b:Document")
+    builder.concept("b2b:Identifier")
+    builder.concept("b2b:ClaimID", parents=["b2b:Identifier"])
+    builder.concept("b2b:PolicyNumber", parents=["b2b:Identifier"])
+    builder.concept("b2b:CustomerID", parents=["b2b:Identifier"])
+    builder.concept("b2b:PatientID", parents=["b2b:Identifier"])
+    builder.equivalent("b2b:PatientID", "b2b:CustomerID")
+    builder.concept("b2b:LoanID", parents=["b2b:Identifier"])
+
+    builder.concept("b2b:ClaimReport", parents=["b2b:Document"])
+    builder.concept("b2b:AssessmentReport", parents=["b2b:ClaimReport"])
+    builder.concept("b2b:LoanApplicationForm", parents=["b2b:Document"])
+    builder.concept("b2b:CreditReport", parents=["b2b:Document"])
+    builder.concept("b2b:LoanDecision", parents=["b2b:Document"])
+    builder.concept("b2b:PatientRecord", parents=["b2b:Document"])
+    builder.concept("b2b:MedicalRecord", parents=["b2b:Document"])
+    builder.equivalent("b2b:PatientRecord", "b2b:MedicalRecord")
+    builder.concept("b2b:TreatmentPlan", parents=["b2b:Document"])
+
+    return builder.build()
+
+
+def _legacy_homonyms() -> Ontology:
+    """Homonyms of B2B/SM terms with *unrelated* semantics.
+
+    ``legacy:ProcessClaim`` is a land-registry deed claim, and
+    ``legacy:StudentInformation`` is a marketing-brochure request: same
+    local names as the real concepts, disjoint hierarchies.  Syntactic
+    (name-based) discovery cannot tell them apart; semantic discovery can.
+    """
+    builder = OntologyBuilder("http://legacy.example.org/vocab", label="Legacy")
+    builder.namespace("legacy", LEGACY.uri)
+    builder.concept("legacy:Operation")
+    builder.concept("legacy:LandRegistry", parents=["legacy:Operation"])
+    builder.concept("legacy:ProcessClaim", parents=["legacy:LandRegistry"])
+    builder.concept("legacy:Marketing", parents=["legacy:Operation"])
+    builder.concept("legacy:StudentInformation", parents=["legacy:Marketing"])
+    builder.concept("legacy:Payload")
+    builder.concept("legacy:DeedNumber", parents=["legacy:Payload"])
+    builder.concept("legacy:Brochure", parents=["legacy:Payload"])
+    builder.concept("legacy:StudentID", parents=["legacy:Payload"])
+    builder.concept("legacy:StudentInfo", parents=["legacy:Payload"])
+    return builder.build()
+
+
+def b2b_ontology() -> Ontology:
+    """University + enterprise + legacy vocabularies merged into one store.
+
+    Whisper assumes every party annotates against shared ontologies; the
+    merged store is what the SWS-proxies and b-peer groups both load.
+    """
+    merged = Ontology("http://example.org/ontologies/whisper", label="Whisper")
+    merged.namespaces.bind("sm", SM.uri)
+    merged.namespaces.bind("b2b", B2B.uri)
+    merged.namespaces.bind("legacy", LEGACY.uri)
+    merged.merge(university_ontology())
+    merged.merge(enterprise_ontology())
+    merged.merge(_legacy_homonyms())
+    return merged

@@ -1,0 +1,80 @@
+"""The ontology object model: concepts, properties, individuals.
+
+This is an OWL-lite-sized model — exactly the slice Whisper's semantic
+matching needs: named classes with subsumption and equivalence, object and
+datatype properties with domain/range, and individuals with types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set
+
+__all__ = ["Concept", "Property", "Individual", "PropertyKind"]
+
+
+class PropertyKind:
+    """Property kinds (OWL object vs. datatype properties)."""
+
+    OBJECT = "object"
+    DATATYPE = "datatype"
+
+
+@dataclass
+class Concept:
+    """A named class (``owl:Class``).
+
+    ``parents`` holds the URIs of direct superclasses, ``equivalents`` the
+    URIs of classes declared equivalent (``owl:equivalentClass``).
+    """
+
+    uri: str
+    label: Optional[str] = None
+    comment: Optional[str] = None
+    parents: Set[str] = field(default_factory=set)
+    equivalents: Set[str] = field(default_factory=set)
+
+    def __hash__(self) -> int:
+        return hash(self.uri)
+
+    def __repr__(self) -> str:
+        return f"<Concept {self.uri}>"
+
+
+@dataclass
+class Property:
+    """An object or datatype property with optional domain/range."""
+
+    uri: str
+    kind: str = PropertyKind.OBJECT
+    domain: Optional[str] = None
+    range: Optional[str] = None
+    label: Optional[str] = None
+    parents: Set[str] = field(default_factory=set)
+
+    def __hash__(self) -> int:
+        return hash(self.uri)
+
+    def __repr__(self) -> str:
+        return f"<Property {self.uri} ({self.kind})>"
+
+
+@dataclass
+class Individual:
+    """A named individual with one or more types and property values."""
+
+    uri: str
+    types: Set[str] = field(default_factory=set)
+    values: Dict[str, List[Any]] = field(default_factory=dict)
+
+    def add_value(self, property_uri: str, value: Any) -> None:
+        self.values.setdefault(property_uri, []).append(value)
+
+    def get_values(self, property_uri: str) -> List[Any]:
+        return list(self.values.get(property_uri, []))
+
+    def __hash__(self) -> int:
+        return hash(self.uri)
+
+    def __repr__(self) -> str:
+        return f"<Individual {self.uri}>"

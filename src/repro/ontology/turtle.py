@@ -1,0 +1,323 @@
+"""Turtle (Terse RDF Triple Language) serialisation for ontologies.
+
+RDF/XML (:mod:`repro.ontology.owlxml`) is what the 2006-era toolchain
+spoke; Turtle is what humans (and modern toolchains) read.  This module
+writes and reads the OWL-lite subset our model covers:
+
+* ``owl:Class`` declarations with ``rdfs:subClassOf`` and
+  ``owl:equivalentClass``;
+* object/datatype properties with ``rdfs:domain`` / ``rdfs:range``;
+* named individuals with types;
+* ``rdfs:label`` / ``rdfs:comment`` string literals.
+
+The parser accepts the practical subset the writer emits plus common
+variations: ``@prefix`` directives, ``a`` for ``rdf:type``, ``;`` and
+``,`` continuations, comments, and both CURIE and ``<uri>`` terms.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from .model import PropertyKind
+from .namespaces import OWL, RDF, RDFS, split_uri
+from .ontology import Ontology
+
+__all__ = ["ontology_to_turtle", "ontology_from_turtle", "TurtleParseError"]
+
+
+class TurtleParseError(Exception):
+    """Raised when a Turtle document cannot be interpreted."""
+
+
+# -- writing ---------------------------------------------------------------------------
+
+
+def _escape_literal(text: str) -> str:
+    return (
+        text.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+        .replace("\r", "\\r")
+        .replace("\t", "\\t")
+    )
+
+
+_CURIE_LOCAL_OK = re.compile(r"^[A-Za-z_][A-Za-z0-9_.-]*$")
+
+
+class _TermWriter:
+    """Chooses CURIE or <uri> form for each term."""
+
+    def __init__(self, ontology: Ontology):
+        self._registry = ontology.namespaces
+
+    def term(self, uri: str) -> str:
+        namespace, local = split_uri(uri)
+        prefix = self._registry.prefix_of(namespace)
+        if prefix and _CURIE_LOCAL_OK.match(local):
+            return f"{prefix}:{local}"
+        return f"<{uri}>"
+
+
+def ontology_to_turtle(ontology: Ontology) -> str:
+    """Serialise an ontology to a Turtle string."""
+    writer = _TermWriter(ontology)
+    lines: List[str] = []
+    prefixes = dict(ontology.namespaces.prefixes())
+    prefixes.setdefault("rdf", RDF.uri)
+    prefixes.setdefault("rdfs", RDFS.uri)
+    prefixes.setdefault("owl", OWL.uri)
+    prefixes.setdefault("xsd", "http://www.w3.org/2001/XMLSchema#")
+    for prefix in sorted(prefixes):
+        lines.append(f"@prefix {prefix}: <{prefixes[prefix]}> .")
+    lines.append("")
+
+    lines.append(f"<{ontology.uri}> a owl:Ontology ;")
+    lines.append(f'    rdfs:label "{_escape_literal(ontology.label)}" .')
+    lines.append("")
+
+    for uri in sorted(ontology.concepts):
+        concept = ontology.concepts[uri]
+        parts = [f"{writer.term(uri)} a owl:Class"]
+        for parent in sorted(concept.parents):
+            parts.append(f"rdfs:subClassOf {writer.term(parent)}")
+        for equivalent in sorted(concept.equivalents):
+            parts.append(f"owl:equivalentClass {writer.term(equivalent)}")
+        if concept.label:
+            parts.append(f'rdfs:label "{_escape_literal(concept.label)}"')
+        if concept.comment:
+            parts.append(f'rdfs:comment "{_escape_literal(concept.comment)}"')
+        lines.append(" ;\n    ".join(parts) + " .")
+    if ontology.concepts:
+        lines.append("")
+
+    for uri in sorted(ontology.properties):
+        prop = ontology.properties[uri]
+        kind = (
+            "owl:ObjectProperty"
+            if prop.kind == PropertyKind.OBJECT
+            else "owl:DatatypeProperty"
+        )
+        parts = [f"{writer.term(uri)} a {kind}"]
+        if prop.label:
+            parts.append(f'rdfs:label "{_escape_literal(prop.label)}"')
+        if prop.domain:
+            parts.append(f"rdfs:domain {writer.term(prop.domain)}")
+        if prop.range:
+            if prop.kind == PropertyKind.OBJECT:
+                parts.append(f"rdfs:range {writer.term(prop.range)}")
+            else:
+                parts.append(f"rdfs:range {prop.range}")
+        lines.append(" ;\n    ".join(parts) + " .")
+    if ontology.properties:
+        lines.append("")
+
+    for uri in sorted(ontology.individuals):
+        individual = ontology.individuals[uri]
+        types = ["owl:NamedIndividual"] + [
+            writer.term(t) for t in sorted(individual.types)
+        ]
+        lines.append(f"{writer.term(uri)} a {', '.join(types)} .")
+
+    return "\n".join(lines).rstrip() + "\n"
+
+
+# -- parsing ------------------------------------------------------------------------------
+
+_TOKEN = re.compile(
+    r"""
+      "(?:[^"\\]|\\.)*"          # string literal
+    | <[^>]*>                    # IRI
+    | @prefix | @base
+    | [A-Za-z_][\w.-]*:[\w.-]*   # CURIE with local part
+    | [A-Za-z_][\w.-]*:          # bare prefix (in @prefix)
+    | \b[aA]\b                   # the 'a' keyword (matched as word)
+    | [;,.]
+    """,
+    re.VERBOSE,
+)
+
+
+def _strip_comments(text: str) -> str:
+    lines = []
+    for raw in text.splitlines():
+        out = []
+        in_string = False
+        in_iri = False
+        index = 0
+        while index < len(raw):
+            char = raw[index]
+            if char == '"' and not in_iri and (index == 0 or raw[index - 1] != "\\"):
+                in_string = not in_string
+            elif char == "<" and not in_string:
+                in_iri = True
+            elif char == ">" and not in_string:
+                in_iri = False
+            if char == "#" and not in_string and not in_iri:
+                break
+            out.append(char)
+            index += 1
+        lines.append("".join(out))
+    return "\n".join(lines)
+
+
+def _unescape_literal(text: str) -> str:
+    return (
+        text.replace("\\t", "\t")
+        .replace("\\r", "\r")
+        .replace("\\n", "\n")
+        .replace('\\"', '"')
+        .replace("\\\\", "\\")
+    )
+
+
+def ontology_from_turtle(document: str) -> Ontology:
+    """Parse a Turtle document (the subset :func:`ontology_to_turtle` emits)."""
+    tokens = _TOKEN.findall(_strip_comments(document))
+    if not tokens:
+        raise TurtleParseError("empty Turtle document")
+
+    prefixes: Dict[str, str] = {}
+    triples: List[Tuple[str, str, str]] = []
+
+    def resolve(token: str) -> str:
+        if token.startswith("<") and token.endswith(">"):
+            return token[1:-1]
+        if token in ("a", "A"):
+            return RDF["type"]
+        if ":" in token:
+            prefix, local = token.split(":", 1)
+            base = prefixes.get(prefix)
+            if base is None:
+                raise TurtleParseError(f"unknown prefix {prefix!r} in {token!r}")
+            return base + local
+        raise TurtleParseError(f"cannot resolve term {token!r}")
+
+    index = 0
+    while index < len(tokens):
+        token = tokens[index]
+        if token == "@prefix":
+            if index + 2 >= len(tokens):
+                raise TurtleParseError("truncated @prefix directive")
+            prefix_token = tokens[index + 1]
+            iri_token = tokens[index + 2]
+            if not prefix_token.endswith(":") and ":" not in prefix_token:
+                raise TurtleParseError(f"bad prefix token {prefix_token!r}")
+            prefix = prefix_token.rstrip(":").split(":", 1)[0]
+            if not (iri_token.startswith("<") and iri_token.endswith(">")):
+                raise TurtleParseError(f"bad namespace IRI {iri_token!r}")
+            prefixes[prefix] = iri_token[1:-1]
+            index += 3
+            if index < len(tokens) and tokens[index] == ".":
+                index += 1
+            continue
+
+        # A statement: subject predicate object (; predicate object)* .
+        subject = resolve(token)
+        index += 1
+        while True:
+            if index + 1 >= len(tokens):
+                raise TurtleParseError(f"truncated statement about {subject}")
+            predicate = resolve(tokens[index])
+            index += 1
+            while True:
+                object_token = tokens[index]
+                index += 1
+                if object_token.startswith('"'):
+                    object_value = "LITERAL:" + _unescape_literal(object_token[1:-1])
+                else:
+                    object_value = resolve(object_token)
+                triples.append((subject, predicate, object_value))
+                if index < len(tokens) and tokens[index] == ",":
+                    index += 1
+                    continue
+                break
+            if index < len(tokens) and tokens[index] == ";":
+                index += 1
+                # Tolerate trailing ';' before '.'
+                if index < len(tokens) and tokens[index] == ".":
+                    index += 1
+                    break
+                continue
+            if index < len(tokens) and tokens[index] == ".":
+                index += 1
+                break
+            raise TurtleParseError(
+                f"expected ';' or '.' after triple about {subject}"
+            )
+
+    return _ontology_from_triples(triples)
+
+
+def _ontology_from_triples(triples: List[Tuple[str, str, str]]) -> Ontology:
+    rdf_type = RDF["type"]
+    ontology_uri: Optional[str] = None
+    ontology_label: Optional[str] = None
+
+    # First pass: find the ontology header.
+    for subject, predicate, obj in triples:
+        if predicate == rdf_type and obj == OWL["Ontology"]:
+            ontology_uri = subject
+    if ontology_uri is None:
+        raise TurtleParseError("no owl:Ontology declaration found")
+    for subject, predicate, obj in triples:
+        if subject == ontology_uri and predicate == RDFS["label"]:
+            if obj.startswith("LITERAL:"):
+                ontology_label = obj[len("LITERAL:"):]
+
+    ontology = Ontology(ontology_uri, label=ontology_label)
+
+    classes = {
+        s for s, p, o in triples if p == rdf_type and o == OWL["Class"]
+    }
+    object_properties = {
+        s for s, p, o in triples if p == rdf_type and o == OWL["ObjectProperty"]
+    }
+    datatype_properties = {
+        s for s, p, o in triples if p == rdf_type and o == OWL["DatatypeProperty"]
+    }
+    individuals = {
+        s for s, p, o in triples if p == rdf_type and o == OWL["NamedIndividual"]
+    }
+
+    for uri in sorted(classes):
+        ontology.add_concept(uri)
+    for uri in sorted(object_properties):
+        ontology.add_property(uri, kind=PropertyKind.OBJECT)
+    for uri in sorted(datatype_properties):
+        ontology.add_property(uri, kind=PropertyKind.DATATYPE)
+    for uri in sorted(individuals):
+        ontology.add_individual(uri)
+
+    for subject, predicate, obj in triples:
+        literal = obj[len("LITERAL:"):] if obj.startswith("LITERAL:") else None
+        if subject in classes:
+            if predicate == RDFS["subClassOf"] and literal is None:
+                ontology.add_subclass(subject, obj)
+            elif predicate == OWL["equivalentClass"] and literal is None:
+                ontology.add_equivalence(subject, obj)
+            elif predicate == RDFS["label"] and literal is not None:
+                ontology.concepts[subject].label = literal
+            elif predicate == RDFS["comment"] and literal is not None:
+                ontology.concepts[subject].comment = literal
+        elif subject in object_properties or subject in datatype_properties:
+            prop = ontology.properties[subject]
+            if predicate == RDFS["domain"] and literal is None:
+                prop.domain = obj
+            elif predicate == RDFS["range"] and literal is None:
+                xsd_ns = "http://www.w3.org/2001/XMLSchema#"
+                if subject in datatype_properties and obj.startswith(xsd_ns):
+                    # Keep the model's compact xsd:* form for datatype ranges.
+                    prop.range = "xsd:" + obj[len(xsd_ns):]
+                else:
+                    prop.range = obj
+            elif predicate == RDFS["label"] and literal is not None:
+                prop.label = literal
+        elif subject in individuals:
+            if predicate == rdf_type and obj != OWL["NamedIndividual"]:
+                if literal is None:
+                    ontology.individuals[subject].types.add(obj)
+
+    return ontology

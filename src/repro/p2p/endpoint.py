@@ -1,0 +1,236 @@
+"""The endpoint service: peer-ID-addressed messaging.
+
+JXTA's endpoint service provides "an abstract network transport capable of
+transporting messages between peers, either directly, or via relay peers"
+(§5).  Ours does the same: peers address each other by :class:`PeerId`;
+the endpoint resolves IDs to transport addresses from peer advertisements,
+dispatches inbound messages to per-protocol listeners, and routes through
+a relay when the destination is NAT-isolated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from ..simnet.events import Interrupt
+from ..simnet.message import Address, Message
+from ..simnet.node import Node
+from .ids import PeerId
+
+__all__ = ["EndpointService", "EndpointMessage", "UnresolvablePeerError"]
+
+#: The well-known port every peer's endpoint listens on.
+ENDPOINT_PORT = 9701
+
+
+class UnresolvablePeerError(Exception):
+    """The endpoint has no route (no peer advertisement) for a peer ID."""
+
+
+@dataclass
+class EndpointMessage:
+    """The JXTA-level message carried inside a transport datagram."""
+
+    src_peer: PeerId
+    dst_peer: PeerId
+    protocol: str
+    payload: Any
+    #: When set, the message is being relayed: deliver to ``dst_peer``.
+    relayed: bool = False
+    headers: Dict[str, Any] = field(default_factory=dict)
+
+
+#: Listener signature: ``listener(endpoint_message)``.
+Listener = Callable[[EndpointMessage], None]
+
+
+class EndpointService:
+    """One peer's messaging endpoint."""
+
+    def __init__(
+        self,
+        node: Node,
+        peer_id: PeerId,
+        port: int = ENDPOINT_PORT,
+        nat_isolated: bool = False,
+    ):
+        self.node = node
+        self.peer_id = peer_id
+        self.port = port
+        self.nat_isolated = nat_isolated
+        self._routes: Dict[PeerId, Address] = {}
+        self._nat_peers: Dict[PeerId, bool] = {}
+        self._listeners: Dict[str, Listener] = {}
+        self.relay_peer: Optional[PeerId] = None
+        self.messages_in = 0
+        self.messages_out = 0
+        self._socket = None
+        self.start()
+        node.on_crash(lambda _node: self._teardown())
+        node.on_restart(lambda _node: self.start())
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._socket is not None and not self._socket.closed:
+            return
+        self._socket = self.node.transport.bind(self.port)
+        self.node.spawn(self._receive_loop(), name=f"endpoint:{self.node.name}")
+
+    def _teardown(self) -> None:
+        """Release the port immediately on crash (the receive loop's
+        interrupt is delivered asynchronously)."""
+        if self._socket is not None:
+            self._socket.close()
+            self._socket = None
+
+    @property
+    def address(self) -> Address:
+        return (self.node.name, self.port)
+
+    # -- routing table ---------------------------------------------------------------
+
+    def add_route(
+        self, peer_id: PeerId, address: Address, nat_isolated: bool = False
+    ) -> None:
+        """Learn (typically from a peer advertisement) where a peer lives."""
+        self._routes[peer_id] = address
+        self._nat_peers[peer_id] = nat_isolated
+
+    def route_for(self, peer_id: PeerId) -> Optional[Address]:
+        return self._routes.get(peer_id)
+
+    def set_relay(self, relay_peer: PeerId) -> None:
+        """Use ``relay_peer`` to reach NAT-isolated destinations."""
+        self.relay_peer = relay_peer
+
+    # -- listeners --------------------------------------------------------------------
+
+    def register_listener(self, protocol: str, listener: Listener) -> None:
+        """Dispatch inbound messages for ``protocol`` to ``listener``."""
+        self._listeners[protocol] = listener
+
+    def unregister_listener(self, protocol: str) -> None:
+        self._listeners.pop(protocol, None)
+
+    # -- sending -----------------------------------------------------------------------
+
+    def send(
+        self,
+        dst_peer: PeerId,
+        protocol: str,
+        payload: Any,
+        category: Optional[str] = None,
+        size_bytes: int = 512,
+    ) -> None:
+        """Send a message to another peer by ID.
+
+        Raises :class:`UnresolvablePeerError` when no route is known and no
+        relay can help.  Sending is fire-and-forget (datagram semantics);
+        loss happens silently, exactly like a real crashed peer.
+        """
+        envelope = EndpointMessage(
+            src_peer=self.peer_id,
+            dst_peer=dst_peer,
+            protocol=protocol,
+            payload=payload,
+        )
+        self._transmit(envelope, category or protocol, size_bytes)
+
+    def send_via(
+        self,
+        via_peer: PeerId,
+        dst_peer: PeerId,
+        protocol: str,
+        payload: Any,
+        category: Optional[str] = None,
+        size_bytes: int = 512,
+    ) -> None:
+        """Send to ``dst_peer`` through ``via_peer`` (e.g. a rendezvous).
+
+        Used when the sender has no direct route to the destination; the
+        intermediate hop forwards from its own routing table.
+        """
+        address = self._routes.get(via_peer)
+        if address is None:
+            raise UnresolvablePeerError(f"no route to via-peer {via_peer}")
+        envelope = EndpointMessage(
+            src_peer=self.peer_id,
+            dst_peer=dst_peer,
+            protocol=protocol,
+            payload=payload,
+            relayed=True,
+        )
+        self.messages_out += 1
+        self._socket.send(
+            address, payload=envelope, category=category or protocol, size_bytes=size_bytes
+        )
+
+    def _transmit(
+        self, envelope: EndpointMessage, category: str, size_bytes: int
+    ) -> None:
+        dst_peer = envelope.dst_peer
+        address = self._routes.get(dst_peer)
+        needs_relay = (
+            self._nat_peers.get(dst_peer, False) or self.nat_isolated
+        ) and dst_peer != self.relay_peer
+
+        if needs_relay:
+            if self.relay_peer is None:
+                raise UnresolvablePeerError(
+                    f"{dst_peer} is NAT-isolated and no relay is configured"
+                )
+            relay_address = self._routes.get(self.relay_peer)
+            if relay_address is None:
+                raise UnresolvablePeerError(f"no route to relay {self.relay_peer}")
+            envelope.relayed = True
+            self.messages_out += 1
+            self._socket.send(
+                relay_address,
+                payload=envelope,
+                category=category,
+                size_bytes=size_bytes,
+            )
+            return
+
+        if address is None:
+            raise UnresolvablePeerError(f"no route to {dst_peer}")
+        self.messages_out += 1
+        self._socket.send(
+            address, payload=envelope, category=category, size_bytes=size_bytes
+        )
+
+    # -- receiving ----------------------------------------------------------------------
+
+    def _receive_loop(self):
+        socket = self._socket
+        try:
+            while True:
+                message: Message = yield socket.recv()
+                envelope = message.payload
+                if not isinstance(envelope, EndpointMessage):
+                    continue
+                if envelope.dst_peer != self.peer_id:
+                    # We are acting as a relay hop: forward to the target.
+                    self._relay_forward(envelope, message)
+                    continue
+                self.messages_in += 1
+                listener = self._listeners.get(envelope.protocol)
+                if listener is not None:
+                    listener(envelope)
+        except Interrupt:
+            socket.close()
+            if self._socket is socket:
+                self._socket = None
+
+    def _relay_forward(self, envelope: EndpointMessage, message: Message) -> None:
+        address = self._routes.get(envelope.dst_peer)
+        if address is None:
+            return  # relay cannot help; drop
+        self._socket.send(
+            address,
+            payload=envelope,
+            category=message.category,
+            size_bytes=message.size_bytes,
+        )

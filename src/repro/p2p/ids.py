@@ -1,0 +1,68 @@
+"""JXTA-style identifiers.
+
+JXTA names every resource — peers, peer groups, pipes — with a URN of the
+form ``urn:jxta:uuid-<hex>``.  We generate the UUID part deterministically
+from the resource's kind and name (SHA-256, UUIDv5-style), which keeps
+whole simulations reproducible while preserving global uniqueness across
+differently named resources.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+__all__ = ["JxtaId", "PeerId", "PeerGroupId", "PipeId", "WORLD_GROUP_ID"]
+
+
+@dataclass(frozen=True, order=True)
+class JxtaId:
+    """Base identifier; subclasses fix the ``kind`` tag."""
+
+    uuid_hex: str
+
+    KIND = "generic"
+
+    @classmethod
+    def from_name(cls, name: str) -> "JxtaId":
+        digest = hashlib.sha256(f"jxta:{cls.KIND}:{name}".encode()).hexdigest()
+        return cls(digest[:32].upper())
+
+    @property
+    def urn(self) -> str:
+        return f"urn:jxta:uuid-{self.uuid_hex}"
+
+    @classmethod
+    def from_urn(cls, urn: str) -> "JxtaId":
+        prefix = "urn:jxta:uuid-"
+        if not urn.startswith(prefix):
+            raise ValueError(f"not a JXTA URN: {urn!r}")
+        return cls(urn[len(prefix):])
+
+    def __str__(self) -> str:
+        return self.urn
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.uuid_hex[:8]}…>"
+
+
+class PeerId(JxtaId):
+    """Identifies one peer."""
+
+    KIND = "peer"
+
+
+class PeerGroupId(JxtaId):
+    """Identifies a peer group."""
+
+    KIND = "peergroup"
+
+
+class PipeId(JxtaId):
+    """Identifies a pipe."""
+
+    KIND = "pipe"
+
+
+#: The world group every peer implicitly belongs to (JXTA's NetPeerGroup).
+WORLD_GROUP_ID = PeerGroupId.from_name("jxta:world")

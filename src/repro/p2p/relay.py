@@ -1,0 +1,61 @@
+"""Relay peers for NAT-isolated edges.
+
+§5 credits JXTA's transport with "traversing firewall or NAT equipment
+that isolates peers from public networks" via relay peers.  The endpoint
+service already forwards messages whose destination is not itself; this
+module provides the wiring helpers that make a peer act as (or use) a
+relay, plus bookkeeping for relayed traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .endpoint import EndpointService
+from .ids import PeerId
+
+__all__ = ["configure_relay", "attach_nat_peer"]
+
+
+def configure_relay(
+    relay_endpoint: EndpointService, clients: Iterable[EndpointService]
+) -> None:
+    """Make ``relay_endpoint`` the relay for every client endpoint.
+
+    Each client learns the relay's route and designates it; the relay
+    learns each client's route (including NAT-isolated ones, which it can
+    reach because NAT allows the *client-initiated* path back).
+    """
+    relay_id: PeerId = relay_endpoint.peer_id
+    for client in clients:
+        client.add_route(relay_id, relay_endpoint.address)
+        client.set_relay(relay_id)
+        relay_endpoint.add_route(client.peer_id, client.address)
+
+
+def attach_nat_peer(
+    nat_endpoint: EndpointService,
+    relay_endpoint: EndpointService,
+    public_endpoints: Iterable[EndpointService],
+) -> None:
+    """Wire a NAT-isolated peer into the network through a relay.
+
+    Public peers learn that the NAT peer must be reached via relay (they
+    mark the route NAT-isolated and route through their own relay); the
+    NAT peer reaches everyone through the relay as well.
+    """
+    relay_id = relay_endpoint.peer_id
+    nat_endpoint.add_route(relay_id, relay_endpoint.address)
+    nat_endpoint.set_relay(relay_id)
+    relay_endpoint.add_route(nat_endpoint.peer_id, nat_endpoint.address)
+    for public in public_endpoints:
+        public.add_route(
+            nat_endpoint.peer_id, nat_endpoint.address, nat_isolated=True
+        )
+        if public.relay_peer is None:
+            public.add_route(relay_id, relay_endpoint.address)
+            public.set_relay(relay_id)
+        nat_endpoint.add_route(public.peer_id, public.address)
+        # The relay forwards in both directions, so it needs routes to the
+        # public side too.
+        relay_endpoint.add_route(public.peer_id, public.address)

@@ -1,0 +1,170 @@
+"""The simulation environment: clock + event queue + run loop."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Generator, List, Optional, Tuple
+
+from .events import Event, SimulationError, Timeout
+from .process import Process
+
+__all__ = ["Environment", "StopSimulation", "EmptySchedule"]
+
+
+class StopSimulation(Exception):
+    """Raised internally to halt :meth:`Environment.run` at ``until``."""
+
+
+class EmptySchedule(Exception):
+    """Raised when the event queue runs dry before ``until`` is reached."""
+
+
+#: Events scheduled with ``priority=True`` (interrupts) sort before normal
+#: events at the same timestamp.
+_URGENT = 0
+_NORMAL = 1
+
+
+class Environment:
+    """Coordinates simulated time and event processing.
+
+    The environment owns a priority queue of ``(time, priority, seq, event)``
+    tuples.  ``seq`` is a monotonically increasing tiebreaker so that events
+    scheduled at the same instant are processed in FIFO order, which makes
+    every simulation fully deterministic.
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._seq = itertools.count()
+        self._active_process: Optional[Process] = None
+
+    # -- clock ----------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed (None between steps)."""
+        return self._active_process
+
+    # -- event factories --------------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self, generator: Generator[Event, Any, Any], name: Optional[str] = None
+    ) -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator, name=name)
+
+    # -- scheduling --------------------------------------------------------------
+
+    def schedule(self, event: Event, delay: float = 0.0, priority: bool = False) -> None:
+        """Queue ``event`` to be processed ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        heapq.heappush(
+            self._queue,
+            (
+                self._now + delay,
+                _URGENT if priority else _NORMAL,
+                next(self._seq),
+                event,
+            ),
+        )
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        if not self._queue:
+            return float("inf")
+        return self._queue[0][0]
+
+    def step(self) -> None:
+        """Process the single next event.
+
+        A failed :class:`~repro.simnet.process.Process` that nothing waits
+        on re-raises its exception here: a crashed background process must
+        surface as a simulation error, not as a silent hang.
+        """
+        if not self._queue:
+            raise EmptySchedule()
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        for callback in callbacks:
+            callback(event)
+        if not callbacks and not event._ok and not getattr(event, "defused", False):
+            from .process import Process
+
+            if isinstance(event, Process):
+                raise event._value
+
+    # -- run loop ----------------------------------------------------------------
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` — run until the event queue is empty;
+        * a number — run until simulated time reaches that value;
+        * an :class:`Event` — run until that event is processed, returning
+          its value (re-raising its exception if it failed).
+        """
+        stop_value: Any = None
+        if until is None:
+            stop_event: Optional[Event] = None
+        elif isinstance(until, Event):
+            stop_event = until
+            if stop_event.callbacks is None:
+                # Already processed.
+                if not stop_event._ok:
+                    raise stop_event._value
+                return stop_event._value
+            stop_event.add_callback(self._stop_callback)
+        else:
+            at = float(until)
+            if at < self._now:
+                raise ValueError(
+                    f"until={at} lies in the past (now={self._now})"
+                )
+            stop_event = Event(self)
+            stop_event._ok = True
+            stop_event._value = None
+            stop_event.callbacks.append(self._stop_callback)
+            self.schedule(stop_event, delay=at - self._now, priority=True)
+
+        try:
+            while True:
+                self.step()
+        except StopSimulation as stop:
+            stop_value = stop.args[0] if stop.args else None
+        except EmptySchedule:
+            if isinstance(until, Event) and not until.triggered:
+                raise SimulationError(
+                    "run(until=event): queue ran dry before the event fired"
+                )
+            return None
+
+        if isinstance(until, Event):
+            if not until._ok:
+                raise until._value
+            return until._value
+        return stop_value
+
+    @staticmethod
+    def _stop_callback(event: Event) -> None:
+        raise StopSimulation(event._value)

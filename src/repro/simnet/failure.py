@@ -1,0 +1,132 @@
+"""Failure injection: crashes, restarts, partitions, churn.
+
+The paper motivates Whisper with *system* failures that SOAP/WSDL cannot
+express (§1): host crashes that silently kill a service.  This module
+schedules exactly those — fail-stop crashes with optional restarts, network
+partitions with a fixed duration, and continuous crash/restart churn for
+availability experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple
+
+from .network import Network
+
+__all__ = ["FailureInjector", "FailureEvent"]
+
+
+@dataclass
+class FailureEvent:
+    """A record of one injected failure, for reporting."""
+
+    time: float
+    kind: str  # "crash" | "restart" | "partition" | "heal"
+    target: str
+
+
+@dataclass
+class FailureInjector:
+    """Schedules failures against a network on the simulation clock."""
+
+    network: Network
+    log: List[FailureEvent] = field(default_factory=list)
+
+    # -- one-shot actions ---------------------------------------------------------
+
+    def crash_at(self, time: float, host: str) -> None:
+        """Fail-stop ``host`` at the given simulated time."""
+        self._at(time, lambda: self._crash(host))
+
+    def restart_at(self, time: float, host: str) -> None:
+        """Bring ``host`` back up at the given simulated time."""
+        self._at(time, lambda: self._restart(host))
+
+    def crash_for(self, time: float, host: str, downtime: float) -> None:
+        """Crash ``host`` at ``time`` and restart it ``downtime`` later."""
+        self.crash_at(time, host)
+        self.restart_at(time + downtime, host)
+
+    def partition_at(
+        self,
+        time: float,
+        side_a: Iterable[str],
+        side_b: Iterable[str],
+        duration: Optional[float] = None,
+    ) -> None:
+        """Split the network at ``time``; heal after ``duration`` if given."""
+        side_a, side_b = list(side_a), list(side_b)
+
+        def split() -> None:
+            self.network.partition(side_a, side_b)
+            self.log.append(
+                FailureEvent(self.network.env.now, "partition", f"{side_a}|{side_b}")
+            )
+
+        self._at(time, split)
+        if duration is not None:
+            self._at(time + duration, self._heal)
+
+    # -- churn ----------------------------------------------------------------------
+
+    def churn(
+        self,
+        hosts: Iterable[str],
+        mtbf: float,
+        mttr: float,
+        until: float,
+        stream: str = "churn",
+    ) -> None:
+        """Exponential crash/restart churn over ``hosts`` until ``until``.
+
+        ``mtbf`` is the mean time between failures of each host, ``mttr``
+        the mean time to repair.  This drives the availability-vs-replication
+        ablation (DESIGN.md, Ablation B).
+        """
+        rng = self.network.rng.stream(stream)
+        env = self.network.env
+        for host in hosts:
+            clock = env.now
+            while True:
+                clock += rng.expovariate(1.0 / mtbf)
+                if clock >= until:
+                    break
+                downtime = min(rng.expovariate(1.0 / mttr), until - clock)
+                self.crash_for(clock, host, downtime)
+
+    # -- internals -------------------------------------------------------------------
+
+    def _at(self, time: float, action) -> None:
+        env = self.network.env
+        delay = time - env.now
+        if delay < 0:
+            raise ValueError(f"cannot schedule failure in the past (t={time})")
+        timeout = env.timeout(delay)
+        timeout.add_callback(lambda _event: action())
+
+    def _crash(self, host: str) -> None:
+        node = self.network.host(host)
+        if node.up:
+            node.crash()
+            self.log.append(FailureEvent(self.network.env.now, "crash", host))
+
+    def _restart(self, host: str) -> None:
+        node = self.network.host(host)
+        if not node.up:
+            node.restart()
+            self.log.append(FailureEvent(self.network.env.now, "restart", host))
+
+    def _heal(self) -> None:
+        self.network.heal_partitions()
+        self.log.append(FailureEvent(self.network.env.now, "heal", "*"))
+
+    # -- reporting -------------------------------------------------------------------
+
+    def crash_times(self, host: Optional[str] = None) -> List[Tuple[float, str]]:
+        """(time, host) pairs of every injected crash (optionally filtered)."""
+        return [
+            (event.time, event.target)
+            for event in self.log
+            if event.kind == "crash" and (host is None or event.target == host)
+        ]

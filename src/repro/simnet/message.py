@@ -1,0 +1,58 @@
+"""Network message model.
+
+A :class:`Message` is what travels over simulated links.  Every message
+carries a *category* string used by the global trace to attribute message
+counts to protocol layers (discovery, heartbeat, election, request, ...),
+which is what the paper's Figure 4 plots.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = ["Address", "Message"]
+
+_MESSAGE_IDS = itertools.count(1)
+
+#: A network address is ``(host_name, port)``.
+Address = Tuple[str, int]
+
+
+@dataclass
+class Message:
+    """A single datagram on the simulated network."""
+
+    src: Address
+    dst: Address
+    payload: Any
+    category: str = "data"
+    size_bytes: int = 512
+    headers: Dict[str, Any] = field(default_factory=dict)
+    msg_id: int = field(default_factory=lambda: next(_MESSAGE_IDS))
+    sent_at: Optional[float] = None
+    correlation_id: Optional[int] = None
+    hops: int = 0
+
+    def reply_to(
+        self,
+        payload: Any,
+        category: Optional[str] = None,
+        size_bytes: Optional[int] = None,
+    ) -> "Message":
+        """Build a response addressed back to this message's sender."""
+        return Message(
+            src=self.dst,
+            dst=self.src,
+            payload=payload,
+            category=category or self.category,
+            size_bytes=size_bytes if size_bytes is not None else self.size_bytes,
+            correlation_id=self.correlation_id or self.msg_id,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<Message #{self.msg_id} {self.category} "
+            f"{self.src[0]}:{self.src[1]} -> {self.dst[0]}:{self.dst[1]}>"
+        )

@@ -1,0 +1,197 @@
+"""The simulated network: hosts, links, routing, partitions.
+
+The default topology models the paper's testbed: a set of identical machines
+on a switched 100 Mbit/s Ethernet LAN.  Message delay is *propagation*
+(drawn from the link's latency model) plus *transmission* (size divided by
+link bandwidth).  Hosts that are down, partitioned apart, or unlucky with
+the loss rate never receive the message — the trace records the drop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from .environment import Environment
+from .latency import LatencyModel, lan_latency
+from .message import Message
+from .node import Node
+from .rng import RngRegistry
+from .trace import MessageTrace
+from .transport import Transport
+
+__all__ = ["Link", "Network", "UnknownHostError"]
+
+#: 100 Mbit/s, the paper's Ethernet LAN.
+DEFAULT_BANDWIDTH_BPS = 100e6
+
+
+class UnknownHostError(Exception):
+    """Raised when sending to or looking up a host that was never added."""
+
+
+@dataclass
+class Link:
+    """Per-host-pair overrides of the default LAN characteristics."""
+
+    latency: LatencyModel
+    bandwidth_bps: float
+    loss_rate: float = 0.0
+
+
+class Network:
+    """A set of hosts joined by (by default) one switched LAN."""
+
+    def __init__(
+        self,
+        env: Environment,
+        trace: Optional[MessageTrace] = None,
+        rng: Optional[RngRegistry] = None,
+        default_latency: Optional[LatencyModel] = None,
+        default_bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
+    ):
+        self.env = env
+        self.trace = trace if trace is not None else MessageTrace()
+        self.rng = rng if rng is not None else RngRegistry(0)
+        self.default_latency = default_latency or lan_latency()
+        self.default_bandwidth_bps = default_bandwidth_bps
+        self.loss_rate = 0.0
+        self.hosts: Dict[str, Node] = {}
+        self._links: Dict[FrozenSet[str], Link] = {}
+        self._partitions: List[Tuple[Set[str], Set[str]]] = []
+        self._rng_stream = self.rng.stream("network")
+        #: Per-host NIC egress availability: a host transmits one frame at
+        #: a time, so back-to-back sends serialise on the wire.
+        self._egress_busy_until: Dict[str, float] = {}
+
+    # -- topology ---------------------------------------------------------------
+
+    def add_host(self, name: str) -> Node:
+        """Add a machine to the LAN."""
+        if name in self.hosts:
+            raise ValueError(f"host {name!r} already exists")
+        node = Node(self, name)
+        node.transport = Transport(node)
+        self.hosts[name] = node
+        return node
+
+    def add_hosts(self, names: Iterable[str]) -> List[Node]:
+        return [self.add_host(name) for name in names]
+
+    def host(self, name: str) -> Node:
+        try:
+            return self.hosts[name]
+        except KeyError:
+            raise UnknownHostError(name) from None
+
+    def connect(
+        self,
+        a: str,
+        b: str,
+        latency: Optional[LatencyModel] = None,
+        bandwidth_bps: Optional[float] = None,
+        loss_rate: float = 0.0,
+    ) -> Link:
+        """Override the default LAN characteristics for one host pair."""
+        if a not in self.hosts or b not in self.hosts:
+            raise UnknownHostError(f"{a!r} or {b!r}")
+        link = Link(
+            latency=latency or self.default_latency,
+            bandwidth_bps=bandwidth_bps or self.default_bandwidth_bps,
+            loss_rate=loss_rate,
+        )
+        self._links[frozenset((a, b))] = link
+        return link
+
+    def link_between(self, a: str, b: str) -> Link:
+        """The effective link (override or LAN default) for a host pair."""
+        link = self._links.get(frozenset((a, b)))
+        if link is not None:
+            return link
+        return Link(
+            latency=self.default_latency,
+            bandwidth_bps=self.default_bandwidth_bps,
+            loss_rate=self.loss_rate,
+        )
+
+    # -- partitions ----------------------------------------------------------------
+
+    def partition(self, side_a: Iterable[str], side_b: Iterable[str]) -> None:
+        """Block all traffic between the two host groups."""
+        self._partitions.append((set(side_a), set(side_b)))
+
+    def heal_partitions(self) -> None:
+        """Remove every active partition."""
+        self._partitions.clear()
+
+    def partitioned(self, a: str, b: str) -> bool:
+        """True if hosts ``a`` and ``b`` cannot currently communicate."""
+        for side_a, side_b in self._partitions:
+            if (a in side_a and b in side_b) or (a in side_b and b in side_a):
+                return True
+        return False
+
+    # -- delivery -----------------------------------------------------------------
+
+    def send(self, message: Message) -> None:
+        """Inject ``message``; it arrives (or is dropped) after the link delay."""
+        message.sent_at = self.env.now
+        self.trace.on_send(self.env.now, message)
+
+        src_name, dst_name = message.src[0], message.dst[0]
+        if dst_name not in self.hosts:
+            raise UnknownHostError(dst_name)
+        src_node = self.hosts.get(src_name)
+
+        if src_node is not None and not src_node.up:
+            self.trace.on_drop(self.env.now, message, reason="src-down")
+            return
+        if self.partitioned(src_name, dst_name):
+            self.trace.on_drop(self.env.now, message, reason="partition")
+            return
+
+        link = self.link_between(src_name, dst_name)
+        loss = max(link.loss_rate, self.loss_rate)
+        if loss > 0 and self._rng_stream.random() < loss:
+            self.trace.on_drop(self.env.now, message, reason="loss")
+            return
+
+        if src_name == dst_name:
+            # Loopback: negligible but non-zero delay keeps causality.
+            delay = 1e-6
+        else:
+            propagation = link.latency(self._rng_stream)
+            transmission = (message.size_bytes * 8) / link.bandwidth_bps
+            # NIC egress serialisation: the sender's interface puts one
+            # frame on the wire at a time, so a burst of sends queues.
+            now = self.env.now
+            egress_start = max(now, self._egress_busy_until.get(src_name, now))
+            egress_done = egress_start + transmission
+            self._egress_busy_until[src_name] = egress_done
+            delay = (egress_done - now) + propagation
+
+        timeout = self.env.timeout(delay)
+        timeout.add_callback(lambda _event: self._deliver(message))
+
+    def _deliver(self, message: Message) -> None:
+        dst_node = self.hosts[message.dst[0]]
+        message.hops += 1
+        if not dst_node.up or self.partitioned(message.src[0], message.dst[0]):
+            self.trace.on_drop(self.env.now, message, reason="dst-down")
+            return
+        if dst_node.transport.deliver(message):
+            self.trace.on_deliver(self.env.now, message)
+        else:
+            self.trace.on_drop(self.env.now, message, reason="no-socket")
+
+
+def lan(
+    env: Environment,
+    host_names: Iterable[str],
+    seed: int = 0,
+    trace: Optional[MessageTrace] = None,
+) -> Network:
+    """Build the paper's testbed: identical hosts on a 100 Mbit/s LAN."""
+    network = Network(env, trace=trace, rng=RngRegistry(seed))
+    network.add_hosts(host_names)
+    return network

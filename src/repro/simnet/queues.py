@@ -1,0 +1,146 @@
+"""Inter-process communication primitives: FIFO and priority stores.
+
+A :class:`Store` is an unbounded (or bounded) queue of items.  ``put`` and
+``get`` return events; processes yield them to block until the operation
+completes.  These stores are the building block for message inboxes in the
+simulated network.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Any, Deque, List, Tuple
+
+from .events import Event
+
+__all__ = ["Store", "PriorityStore", "StorePut", "StoreGet"]
+
+
+class StorePut(Event):
+    """Event that fires once the item has been accepted by the store."""
+
+    __slots__ = ("item",)
+
+    def __init__(self, store: "Store", item: Any):
+        super().__init__(store.env)
+        self.item = item
+        store._put_waiters.append(self)
+        store._trigger()
+
+
+class StoreGet(Event):
+    """Event that fires with the retrieved item."""
+
+    __slots__ = ()
+
+    def __init__(self, store: "Store"):
+        super().__init__(store.env)
+        store._get_waiters.append(self)
+        store._trigger()
+
+
+class Store:
+    """An unbounded/bounded FIFO queue usable from simulated processes.
+
+    Example::
+
+        inbox = Store(env)
+        inbox.put(message)          # returns an event; may be ignored
+        item = yield inbox.get()    # inside a process
+    """
+
+    def __init__(self, env, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._put_waiters: Deque[StorePut] = deque()
+        self._get_waiters: Deque[StoreGet] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> StorePut:
+        """Queue ``item``; the returned event fires when accepted."""
+        return StorePut(self, item)
+
+    def get(self) -> StoreGet:
+        """Request an item; the returned event fires with it."""
+        return StoreGet(self)
+
+    # -- internals -------------------------------------------------------------
+
+    def _do_put(self, event: StorePut) -> bool:
+        if len(self.items) < self.capacity:
+            self.items.append(event.item)
+            event.succeed()
+            return True
+        return False
+
+    def _do_get(self, event: StoreGet) -> bool:
+        if self.items:
+            event.succeed(self.items.popleft())
+            return True
+        return False
+
+    def _trigger(self) -> None:
+        """Match pending puts with capacity and pending gets with items."""
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._put_waiters:
+                put_event = self._put_waiters[0]
+                if put_event.triggered:
+                    self._put_waiters.popleft()
+                    continue
+                if self._do_put(put_event):
+                    self._put_waiters.popleft()
+                    progressed = True
+                else:
+                    break
+            while self._get_waiters:
+                get_event = self._get_waiters[0]
+                if get_event.triggered:
+                    self._get_waiters.popleft()
+                    continue
+                if self._do_get(get_event):
+                    self._get_waiters.popleft()
+                    progressed = True
+                else:
+                    break
+
+
+class PriorityStore(Store):
+    """A store that hands out the smallest item first.
+
+    Items are compared as ``(priority_key, insertion_seq)`` so ties are
+    FIFO and items never need to be comparable with each other.
+    """
+
+    def __init__(self, env, capacity: float = float("inf"), key=None):
+        super().__init__(env, capacity)
+        self._heap: List[Tuple[Any, int, Any]] = []
+        self._seq = itertools.count()
+        self._key = key or (lambda item: item)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def _do_put(self, event: StorePut) -> bool:
+        if len(self._heap) < self.capacity:
+            heapq.heappush(
+                self._heap, (self._key(event.item), next(self._seq), event.item)
+            )
+            event.succeed()
+            return True
+        return False
+
+    def _do_get(self, event: StoreGet) -> bool:
+        if self._heap:
+            _key, _seq, item = heapq.heappop(self._heap)
+            event.succeed(item)
+            return True
+        return False

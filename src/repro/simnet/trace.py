@@ -1,0 +1,179 @@
+"""Global instrumentation: message counters and packet timestamps.
+
+The paper's benchmark (§5) measures two things:
+
+* *the number of messages exchanged* as b-peers are added (Figure 4), and
+* *round-trip times*, "the time interval from the moment at which a request
+  packet is time-stamped by the monitor to the moment at which a reply
+  packet is time-stamped".
+
+:class:`MessageTrace` is the single source of truth for both.  The network
+layer notifies it of every send/deliver/drop; higher layers use
+:meth:`stamp_request`/:meth:`stamp_reply` to record RTT samples exactly as
+the paper's monitor does.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = ["MessageTrace", "TraceRecord", "RttSample"]
+
+
+@dataclass
+class TraceRecord:
+    """One message event kept when detailed recording is enabled."""
+
+    time: float
+    event: str  # "send", "deliver", or "drop"
+    category: str
+    src: Tuple[str, int]
+    dst: Tuple[str, int]
+    size_bytes: int
+    msg_id: int
+
+
+@dataclass
+class RttSample:
+    """One request/reply round trip observed by the monitor."""
+
+    correlation_id: int
+    request_at: float
+    reply_at: float
+
+    @property
+    def rtt(self) -> float:
+        return self.reply_at - self.request_at
+
+
+@dataclass
+class MessageTrace:
+    """Counts and (optionally) records every message on the network."""
+
+    record_details: bool = False
+    sent_total: int = 0
+    delivered_total: int = 0
+    dropped_total: int = 0
+    bytes_total: int = 0
+    sent_by_category: Counter = field(default_factory=Counter)
+    sent_by_host: Counter = field(default_factory=Counter)
+    records: List[TraceRecord] = field(default_factory=list)
+    _pending_rtt: Dict[int, float] = field(default_factory=dict)
+    rtt_samples: List[RttSample] = field(default_factory=list)
+
+    # -- network hooks ---------------------------------------------------------
+
+    def on_send(self, time: float, message) -> None:
+        self.sent_total += 1
+        self.bytes_total += message.size_bytes
+        self.sent_by_category[message.category] += 1
+        self.sent_by_host[message.src[0]] += 1
+        if self.record_details:
+            self.records.append(
+                TraceRecord(
+                    time,
+                    "send",
+                    message.category,
+                    message.src,
+                    message.dst,
+                    message.size_bytes,
+                    message.msg_id,
+                )
+            )
+
+    def on_deliver(self, time: float, message) -> None:
+        self.delivered_total += 1
+        if self.record_details:
+            self.records.append(
+                TraceRecord(
+                    time,
+                    "deliver",
+                    message.category,
+                    message.src,
+                    message.dst,
+                    message.size_bytes,
+                    message.msg_id,
+                )
+            )
+
+    def on_drop(self, time: float, message, reason: str = "") -> None:
+        self.dropped_total += 1
+        if self.record_details:
+            self.records.append(
+                TraceRecord(
+                    time,
+                    "drop",
+                    message.category,
+                    message.src,
+                    message.dst,
+                    message.size_bytes,
+                    message.msg_id,
+                )
+            )
+
+    # -- RTT monitor (paper §5) --------------------------------------------------
+
+    def stamp_request(self, correlation_id: int, time: float) -> None:
+        """Time-stamp an outgoing request packet."""
+        self._pending_rtt[correlation_id] = time
+
+    def stamp_reply(self, correlation_id: int, time: float) -> None:
+        """Time-stamp the matching reply packet; records an RTT sample."""
+        start = self._pending_rtt.pop(correlation_id, None)
+        if start is not None:
+            self.rtt_samples.append(RttSample(correlation_id, start, time))
+
+    def rtts(self) -> List[float]:
+        """All observed round-trip times, in seconds."""
+        return [sample.rtt for sample in self.rtt_samples]
+
+    # -- reporting ----------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, int]:
+        """Cheap copy of the headline counters."""
+        return {
+            "sent": self.sent_total,
+            "delivered": self.delivered_total,
+            "dropped": self.dropped_total,
+            "bytes": self.bytes_total,
+        }
+
+    def category_breakdown(self) -> Dict[str, int]:
+        """Messages sent, keyed by protocol category."""
+        return dict(self.sent_by_category)
+
+    def records_to_csv(self) -> str:
+        """Detailed records as CSV (requires ``record_details=True``)."""
+        lines = ["time,event,category,src_host,src_port,dst_host,dst_port,size_bytes,msg_id"]
+        for record in self.records:
+            lines.append(
+                f"{record.time!r},{record.event},{record.category},"
+                f"{record.src[0]},{record.src[1]},"
+                f"{record.dst[0]},{record.dst[1]},"
+                f"{record.size_bytes},{record.msg_id}"
+            )
+        return "\n".join(lines) + "\n"
+
+    def rtts_to_csv(self) -> str:
+        """RTT samples as CSV."""
+        lines = ["correlation_id,request_at,reply_at,rtt"]
+        for sample in self.rtt_samples:
+            lines.append(
+                f"{sample.correlation_id},{sample.request_at!r},"
+                f"{sample.reply_at!r},{sample.rtt!r}"
+            )
+        return "\n".join(lines) + "\n"
+
+    def reset(self) -> None:
+        """Zero every counter (e.g. after a warm-up phase)."""
+        self.sent_total = 0
+        self.delivered_total = 0
+        self.dropped_total = 0
+        self.bytes_total = 0
+        self.sent_by_category.clear()
+        self.sent_by_host.clear()
+        self.records.clear()
+        self._pending_rtt.clear()
+        self.rtt_samples.clear()

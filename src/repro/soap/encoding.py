@@ -1,0 +1,106 @@
+"""Encoding Python values as XML element trees and back.
+
+SOAP bodies carry structured values.  We use a small self-describing
+encoding: every element gets a ``type`` attribute (string, int, float,
+bool, null, struct, list) so round-tripping is loss-free without needing a
+schema at the decoding side.
+"""
+
+from __future__ import annotations
+
+import re
+import xml.etree.ElementTree as ET
+from typing import Any
+
+__all__ = ["value_to_element", "element_to_value", "EncodingError"]
+
+
+class EncodingError(Exception):
+    """Raised when a value cannot be encoded or decoded."""
+
+
+#: Characters XML 1.0 cannot carry (anywhere — text or attributes).
+_XML_INVALID = re.compile(
+    "[^\x09\x0a\x0d\x20-퟿-�\U00010000-\U0010ffff]"
+)
+
+
+def _check_xml_text(text: str, what: str) -> str:
+    """Reject strings XML 1.0 cannot transport (e.g. control characters).
+
+    SOAP is an XML protocol: such strings cannot appear on the wire, so we
+    fail loudly at encode time instead of producing an unparseable message.
+    """
+    match = _XML_INVALID.search(text)
+    if match is not None:
+        raise EncodingError(
+            f"{what} contains an XML-invalid character {match.group()!r} "
+            f"at index {match.start()}"
+        )
+    return text
+
+
+def value_to_element(tag: str, value: Any) -> ET.Element:
+    """Encode ``value`` into an element named ``tag``."""
+    element = ET.Element(tag)
+    if value is None:
+        element.set("type", "null")
+    elif isinstance(value, bool):
+        element.set("type", "bool")
+        element.text = "true" if value else "false"
+    elif isinstance(value, int):
+        element.set("type", "int")
+        element.text = str(value)
+    elif isinstance(value, float):
+        element.set("type", "float")
+        element.text = repr(value)
+    elif isinstance(value, str):
+        element.set("type", "string")
+        element.text = _check_xml_text(value, "string value")
+    elif isinstance(value, (list, tuple)):
+        element.set("type", "list")
+        for entry in value:
+            element.append(value_to_element("item", entry))
+    elif isinstance(value, dict):
+        element.set("type", "struct")
+        for key in value:
+            if not isinstance(key, str):
+                raise EncodingError(f"struct keys must be strings, got {key!r}")
+            member = value_to_element("member", value[key])
+            member.set("name", _check_xml_text(key, "struct key"))
+            element.append(member)
+    else:
+        raise EncodingError(f"cannot encode value of type {type(value).__name__}")
+    return element
+
+
+def element_to_value(element: ET.Element) -> Any:
+    """Decode an element produced by :func:`value_to_element`."""
+    kind = element.get("type", "string")
+    if kind == "null":
+        return None
+    if kind == "bool":
+        return element.text == "true"
+    if kind == "int":
+        try:
+            return int(element.text or "0")
+        except ValueError as error:
+            raise EncodingError(f"bad int payload {element.text!r}") from error
+    if kind == "float":
+        try:
+            return float(element.text or "0")
+        except ValueError as error:
+            raise EncodingError(f"bad float payload {element.text!r}") from error
+    if kind == "string":
+        return element.text or ""
+    if kind == "list":
+        return [element_to_value(child) for child in element]
+    if kind == "struct":
+        result = {}
+        for child in element:
+            name = child.get("name")
+            if name is None:
+                raise EncodingError("struct member lacks a name")
+            result[name] = element_to_value(child)
+        return result
+    raise EncodingError(f"unknown encoded type {kind!r}")

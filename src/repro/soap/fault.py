@@ -1,0 +1,52 @@
+"""SOAP faults.
+
+The paper's point of departure (§1): "At the SOAP messaging layer, the
+``<soap:fault>`` tag is provided to inform a client about errors
+encountered while processing an invocation message" — but *system*
+failures (a crashed host) produce no fault at all, just silence.  Our
+:class:`SoapFault` models the former; the latter shows up as client-side
+timeouts, which is exactly the failure mode Whisper exists to mask.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+__all__ = ["SoapFault", "FaultCode"]
+
+
+class FaultCode:
+    """Standard SOAP 1.1 fault codes."""
+
+    VERSION_MISMATCH = "VersionMismatch"
+    MUST_UNDERSTAND = "MustUnderstand"
+    CLIENT = "Client"
+    SERVER = "Server"
+
+
+class SoapFault(Exception):
+    """An application-level error carried in a ``<soap:fault>`` element."""
+
+    def __init__(
+        self,
+        faultcode: str,
+        faultstring: str,
+        detail: Any = None,
+        faultactor: Optional[str] = None,
+    ):
+        super().__init__(f"{faultcode}: {faultstring}")
+        self.faultcode = faultcode
+        self.faultstring = faultstring
+        self.detail = detail
+        self.faultactor = faultactor
+
+    @classmethod
+    def client(cls, message: str, detail: Any = None) -> "SoapFault":
+        return cls(FaultCode.CLIENT, message, detail)
+
+    @classmethod
+    def server(cls, message: str, detail: Any = None) -> "SoapFault":
+        return cls(FaultCode.SERVER, message, detail)
+
+    def __repr__(self) -> str:
+        return f"SoapFault({self.faultcode!r}, {self.faultstring!r})"

@@ -1,0 +1,36 @@
+"""Workflow composition over Whisper services.
+
+The B2B processes of §1 — claim processing, loan management, healthcare —
+composed from Whisper service invocations, with the §2.4 QoS model
+predicting end-to-end time/cost/reliability before a single call is made.
+
+* :mod:`~repro.workflow.model` — tasks, sequence/parallel/choice/loop;
+* :mod:`~repro.workflow.engine` — execution on the simulated LAN;
+* :mod:`~repro.workflow.prediction` — structural QoS reduction.
+"""
+
+from .engine import TaskRecord, WorkflowEngine, WorkflowResult
+from .model import (
+    ExclusiveChoice,
+    LoopFlow,
+    ParallelFlow,
+    SequenceFlow,
+    ServiceTask,
+    WorkflowError,
+    WorkflowNode,
+)
+from .prediction import predict_qos
+
+__all__ = [
+    "ExclusiveChoice",
+    "LoopFlow",
+    "ParallelFlow",
+    "SequenceFlow",
+    "ServiceTask",
+    "TaskRecord",
+    "WorkflowEngine",
+    "WorkflowError",
+    "WorkflowNode",
+    "WorkflowResult",
+    "predict_qos",
+]

@@ -1,0 +1,206 @@
+"""The workflow engine: executes composition trees against live services.
+
+Runs on a client host of the simulated LAN.  Sequences execute inline;
+parallel branches run as concurrent simulated processes with isolated
+context copies merged at the join; choices evaluate predicates against the
+context; loops iterate up to their bound.  Per-task latencies and the
+end-to-end outcome land in a :class:`WorkflowResult` for comparison with
+the §2.4 QoS prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, List, Optional
+
+from ..simnet.events import AllOf
+from ..simnet.node import Node
+from ..soap.client import SoapClient
+from ..soap.fault import SoapFault
+from ..soap.http import RequestTimeout
+from .model import (
+    Context,
+    ExclusiveChoice,
+    LoopFlow,
+    ParallelFlow,
+    SequenceFlow,
+    ServiceTask,
+    WorkflowError,
+    WorkflowNode,
+)
+
+__all__ = ["WorkflowEngine", "WorkflowResult", "TaskRecord"]
+
+
+@dataclass
+class TaskRecord:
+    """One task execution: timing and outcome."""
+
+    task: str
+    started_at: float
+    finished_at: float
+    succeeded: bool
+    error: Optional[str] = None
+
+    @property
+    def elapsed(self) -> float:
+        return self.finished_at - self.started_at
+
+
+@dataclass
+class WorkflowResult:
+    """The outcome of one workflow run."""
+
+    context: Context
+    records: List[TaskRecord] = field(default_factory=list)
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    error: Optional[str] = None
+
+    @property
+    def succeeded(self) -> bool:
+        return self.error is None
+
+    @property
+    def elapsed(self) -> float:
+        return self.finished_at - self.started_at
+
+    def record_for(self, task_name: str) -> Optional[TaskRecord]:
+        for record in self.records:
+            if record.task == task_name:
+                return record
+        return None
+
+
+class WorkflowEngine:
+    """Executes workflows from one client host."""
+
+    def __init__(self, node: Node, default_timeout: float = 30.0):
+        self.node = node
+        self.env = node.env
+        self.client = SoapClient(node, default_timeout=default_timeout)
+
+    # -- public API -----------------------------------------------------------------
+
+    def run(
+        self, workflow: WorkflowNode, context: Optional[Context] = None
+    ) -> WorkflowResult:
+        """Validate and execute ``workflow`` to completion (advances sim)."""
+        workflow.validate()
+        result = WorkflowResult(context=dict(context or {}))
+        result.started_at = self.env.now
+
+        def runner():
+            try:
+                yield from self._execute(workflow, result.context, result)
+            except (SoapFault, RequestTimeout, WorkflowError) as error:
+                result.error = f"{type(error).__name__}: {error}"
+
+        process = self.node.spawn(runner(), name="workflow")
+        self.env.run(until=process)
+        result.finished_at = self.env.now
+        return result
+
+    def execute(
+        self, workflow: WorkflowNode, context: Context, result: WorkflowResult
+    ) -> Generator:
+        """Generator form, for embedding in an existing process."""
+        workflow.validate()
+        yield from self._execute(workflow, context, result)
+
+    # -- node dispatch ------------------------------------------------------------------
+
+    def _execute(
+        self, node: WorkflowNode, context: Context, result: WorkflowResult
+    ) -> Generator:
+        if isinstance(node, ServiceTask):
+            yield from self._run_task(node, context, result)
+        elif isinstance(node, SequenceFlow):
+            for child in node.nodes:
+                yield from self._execute(child, context, result)
+        elif isinstance(node, ParallelFlow):
+            yield from self._run_parallel(node, context, result)
+        elif isinstance(node, ExclusiveChoice):
+            yield from self._run_choice(node, context, result)
+        elif isinstance(node, LoopFlow):
+            iterations = 0
+            while node.condition(context):
+                if iterations >= node.max_iterations:
+                    raise WorkflowError(
+                        f"loop exceeded {node.max_iterations} iterations"
+                    )
+                yield from self._execute(node.body, context, result)
+                iterations += 1
+        else:
+            raise WorkflowError(f"unknown workflow node {type(node).__name__}")
+
+    def _run_task(
+        self, task: ServiceTask, context: Context, result: WorkflowResult
+    ) -> Generator:
+        arguments = task.input_mapping(context)
+        started = self.env.now
+        try:
+            value = yield from self.client.call(
+                task.address, task.path, task.operation, arguments,
+                timeout=task.timeout,
+            )
+        except (SoapFault, RequestTimeout) as error:
+            result.records.append(
+                TaskRecord(
+                    task=task.name,
+                    started_at=started,
+                    finished_at=self.env.now,
+                    succeeded=False,
+                    error=f"{type(error).__name__}: {error}",
+                )
+            )
+            raise
+        result.records.append(
+            TaskRecord(
+                task=task.name,
+                started_at=started,
+                finished_at=self.env.now,
+                succeeded=True,
+            )
+        )
+        if task.output_key is not None:
+            context[task.output_key] = value
+
+    def _run_parallel(
+        self, node: ParallelFlow, context: Context, result: WorkflowResult
+    ) -> Generator:
+        branch_contexts: List[Context] = []
+        branch_errors: List[Optional[str]] = [None] * len(node.branches)
+        processes = []
+        for index, branch in enumerate(node.branches):
+            child_context = dict(context)
+            branch_contexts.append(child_context)
+
+            def branch_runner(branch=branch, child=child_context, index=index):
+                try:
+                    yield from self._execute(branch, child, result)
+                except (SoapFault, RequestTimeout, WorkflowError) as error:
+                    branch_errors[index] = f"{type(error).__name__}: {error}"
+
+            processes.append(
+                self.node.spawn(branch_runner(), name=f"workflow-branch-{index}")
+            )
+        yield AllOf(self.env, processes)
+        failures = [message for message in branch_errors if message is not None]
+        if failures:
+            raise WorkflowError(f"parallel branch failed: {failures[0]}")
+        # Deterministic join: merge branch writes in branch order.
+        for child_context in branch_contexts:
+            for key, value in child_context.items():
+                if key not in context or context[key] is not value:
+                    context[key] = value
+
+    def _run_choice(
+        self, node: ExclusiveChoice, context: Context, result: WorkflowResult
+    ) -> Generator:
+        for predicate, _probability, branch in node.branches:
+            if predicate(context):
+                yield from self._execute(branch, context, result)
+                return
+        if node.otherwise is not None:
+            yield from self._execute(node.otherwise, context, result)

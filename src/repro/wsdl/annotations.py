@@ -1,0 +1,38 @@
+"""WSDL-S semantic annotations.
+
+WSDL-S (the METEOR-S lineage the paper cites, [9, 13]) extends WSDL with
+``modelReference`` attributes mapping syntactic elements to ontology
+concepts.  Whisper annotates three things per operation: the *action*
+(functional semantics, §2.3) and each *input*/*output* part (data
+semantics, §2.2).  The resulting concept triple is the unit of matching
+between services and peer-group advertisements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+__all__ = ["SemanticAnnotation"]
+
+
+@dataclass(frozen=True)
+class SemanticAnnotation:
+    """The (action, inputs, outputs) ontology-concept triple of an operation."""
+
+    action: str
+    inputs: Tuple[str, ...] = ()
+    outputs: Tuple[str, ...] = ()
+
+    def all_concepts(self) -> List[str]:
+        """Every concept URI referenced by the annotation."""
+        return [self.action, *self.inputs, *self.outputs]
+
+    def unresolved_in(self, ontology) -> List[str]:
+        """Concept URIs that the given ontology does not declare."""
+        return [uri for uri in self.all_concepts() if not ontology.has_concept(uri)]
+
+    def __str__(self) -> str:
+        inputs = ", ".join(self.inputs)
+        outputs = ", ".join(self.outputs)
+        return f"action={self.action} inputs=[{inputs}] outputs=[{outputs}]"

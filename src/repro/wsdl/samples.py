@@ -1,0 +1,197 @@
+"""Ready-made WSDL-S documents for the paper's scenarios.
+
+:func:`student_management_wsdl` reproduces §3.1's listing — the
+``StudentManagement`` service whose ``StudentInformation`` operation takes
+a ``StudentID`` and returns a ``StudentInfo`` structure — and the other
+factories cover the §1 B2B domains used by examples and benchmarks.
+"""
+
+from __future__ import annotations
+
+from ..ontology.domains import B2B, SM
+from .definitions import Definitions, Interface, MessagePart, Operation
+from .schema import ComplexType, ElementDecl, Schema
+
+__all__ = [
+    "student_management_wsdl",
+    "student_admin_wsdl",
+    "insurance_claims_wsdl",
+    "bank_loans_wsdl",
+    "healthcare_wsdl",
+]
+
+_UMA_TNS = "http://uma.pt/services/StudentManagement"
+
+
+def student_management_wsdl() -> Definitions:
+    """The paper's running example (§3.1), fully annotated."""
+    schema = Schema(target_namespace=_UMA_TNS)
+    schema.add_complex_type(
+        ComplexType(
+            name="StudentInfoType",
+            elements=[
+                ElementDecl("studentId", "xsd:string"),
+                ElementDecl("name", "xsd:string"),
+                ElementDecl("degree", "xsd:string"),
+                ElementDecl("email", "xsd:string", min_occurs=0),
+                ElementDecl("enrolledCourses", "xsd:string", min_occurs=0, max_occurs=-1),
+                ElementDecl("source", "xsd:string", min_occurs=0),
+            ],
+        )
+    )
+    schema.add_element(ElementDecl("StudentID", "xsd:string"))
+    schema.add_element(ElementDecl("StudentInfo", "tns:StudentInfoType"))
+
+    operation = Operation(
+        name="StudentInformation",
+        action=SM["StudentInformation"],
+        inputs=[
+            MessagePart(
+                message_label="ID",
+                element="tns:StudentID",
+                model_reference=SM["StudentID"],
+            )
+        ],
+        outputs=[
+            MessagePart(
+                message_label="student",
+                element="tns:StudentInfo",
+                model_reference=SM["StudentInfo"],
+            )
+        ],
+    )
+    interface = Interface(name="StudentManagementUMA")
+    interface.add_operation(operation)
+
+    definitions = Definitions(
+        name="StudentManagement",
+        target_namespace=_UMA_TNS,
+        schema=schema,
+        namespaces={"sm": SM.uri, "tns": _UMA_TNS + "#"},
+    )
+    definitions.add_interface(interface)
+    return definitions
+
+
+def student_admin_wsdl() -> Definitions:
+    """A multi-operation variant: information retrieval *and* enrollment.
+
+    Exercises one-b-peer-group-per-operation deployments: the two
+    operations carry different functional semantics (``sm:StudentInformation``
+    vs. ``sm:EnrollStudent``) and are served by different groups.
+    """
+    base = student_management_wsdl()
+    definitions = Definitions(
+        name="StudentAdmin",
+        target_namespace=base.target_namespace,
+        schema=base.schema,
+        namespaces=dict(base.namespaces),
+    )
+    interface = Interface(name="StudentAdminUMA")
+    retrieval = base.single_interface().operation("StudentInformation")
+    interface.add_operation(retrieval)
+    interface.add_operation(
+        Operation(
+            name="EnrollStudent",
+            action=SM["EnrollStudent"],
+            inputs=[
+                MessagePart(
+                    message_label="ID",
+                    element="tns:StudentID",
+                    model_reference=SM["StudentID"],
+                ),
+                MessagePart(
+                    message_label="course",
+                    element="tns:StudentID",
+                    model_reference=SM["CourseCode"],
+                ),
+            ],
+            outputs=[
+                MessagePart(
+                    message_label="student",
+                    element="tns:StudentInfo",
+                    model_reference=SM["StudentInfo"],
+                )
+            ],
+        )
+    )
+    definitions.add_interface(interface)
+    return definitions
+
+
+def _single_operation_wsdl(
+    service_name: str,
+    interface_name: str,
+    operation_name: str,
+    action: str,
+    input_concept: str,
+    output_concept: str,
+) -> Definitions:
+    tns = f"http://example.org/services/{service_name}"
+    schema = Schema(target_namespace=tns)
+    schema.add_element(ElementDecl("Request", "xsd:string"))
+    schema.add_element(ElementDecl("Response", "xsd:string"))
+    operation = Operation(
+        name=operation_name,
+        action=action,
+        inputs=[
+            MessagePart(
+                message_label="request",
+                element="tns:Request",
+                model_reference=input_concept,
+            )
+        ],
+        outputs=[
+            MessagePart(
+                message_label="response",
+                element="tns:Response",
+                model_reference=output_concept,
+            )
+        ],
+    )
+    interface = Interface(name=interface_name)
+    interface.add_operation(operation)
+    definitions = Definitions(
+        name=service_name,
+        target_namespace=tns,
+        schema=schema,
+        namespaces={"b2b": B2B.uri, "tns": tns + "#"},
+    )
+    definitions.add_interface(interface)
+    return definitions
+
+
+def insurance_claims_wsdl() -> Definitions:
+    """Insurance claim processing (§1's first motivating domain)."""
+    return _single_operation_wsdl(
+        "InsuranceClaims",
+        "ClaimProcessingPort",
+        "ProcessClaim",
+        action=B2B["ProcessClaim"],
+        input_concept=B2B["ClaimID"],
+        output_concept=B2B["AssessmentReport"],
+    )
+
+
+def bank_loans_wsdl() -> Definitions:
+    """Bank loan management (§1's second motivating domain)."""
+    return _single_operation_wsdl(
+        "BankLoans",
+        "LoanManagementPort",
+        "ApproveLoan",
+        action=B2B["LoanApproval"],
+        input_concept=B2B["LoanID"],
+        output_concept=B2B["LoanDecision"],
+    )
+
+
+def healthcare_wsdl() -> Definitions:
+    """Healthcare patient-record retrieval (§1's third motivating domain)."""
+    return _single_operation_wsdl(
+        "Healthcare",
+        "PatientCarePort",
+        "RetrievePatientRecord",
+        action=B2B["RetrievePatientRecord"],
+        input_concept=B2B["PatientID"],
+        output_concept=B2B["PatientRecord"],
+    )

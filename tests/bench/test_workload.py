@@ -1,0 +1,94 @@
+"""Tests for the workload generators against a live Whisper deployment."""
+
+import pytest
+
+from repro.bench import ClosedLoopWorkload, PoissonWorkload
+from repro.core import WhisperSystem
+
+
+@pytest.fixture
+def deployment():
+    system = WhisperSystem(seed=21)
+    service = system.deploy_student_service(replicas=3)
+    system.settle(6.0)
+    return system, service
+
+
+class TestClosedLoop:
+    def test_all_requests_complete(self, deployment):
+        system, service = deployment
+        workload = ClosedLoopWorkload(
+            system, service.address, service.path, "StudentInformation",
+            clients=2, think_time=0.02, requests_per_client=5,
+        )
+        result = workload.run()
+        assert result.requests == 10
+        assert result.availability == 1.0
+        assert len(result.latencies) == 10
+
+    def test_latency_summary(self, deployment):
+        system, service = deployment
+        workload = ClosedLoopWorkload(
+            system, service.address, service.path, "StudentInformation",
+            clients=1, think_time=0.0, requests_per_client=5,
+        )
+        result = workload.run()
+        summary = result.latency_summary()
+        assert 0 < summary.mean < 0.1
+        assert summary.count == 5
+
+    def test_throughput_positive(self, deployment):
+        system, service = deployment
+        workload = ClosedLoopWorkload(
+            system, service.address, service.path, "StudentInformation",
+            clients=2, think_time=0.01, requests_per_client=5,
+        )
+        result = workload.run()
+        assert result.throughput > 0
+        assert result.duration > 0
+
+    def test_faults_counted_not_raised(self, deployment):
+        system, service = deployment
+        workload = ClosedLoopWorkload(
+            system, service.address, service.path, "StudentInformation",
+            clients=1, think_time=0.0, requests_per_client=4,
+            arguments=lambda index: {"ID": "S99999"},  # unknown student
+        )
+        result = workload.run()
+        assert result.faults == 4
+        assert result.availability == 0.0
+
+
+class TestPoisson:
+    def test_open_loop_generates_load(self, deployment):
+        system, service = deployment
+        workload = PoissonWorkload(
+            system, service.address, service.path, "StudentInformation",
+            rate=100.0, duration=2.0,
+        )
+        result = workload.run()
+        # ~200 expected; loose bounds for the Poisson draw.
+        assert 120 < result.requests < 300
+        assert result.availability == 1.0
+
+    def test_rate_zero_rejected(self, deployment):
+        system, service = deployment
+        with pytest.raises(ValueError):
+            PoissonWorkload(
+                system, service.address, service.path, "StudentInformation",
+                rate=0.0,
+            )
+
+    def test_deterministic_given_seed(self):
+        def run_once():
+            system = WhisperSystem(seed=33)
+            service = system.deploy_student_service(replicas=2)
+            system.settle(6.0)
+            workload = PoissonWorkload(
+                system, service.address, service.path, "StudentInformation",
+                rate=50.0, duration=1.0,
+            )
+            result = workload.run()
+            return result.requests, round(sum(result.latencies), 9)
+
+        assert run_once() == run_once()

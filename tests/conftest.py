@@ -1,0 +1,25 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simnet import Environment, MessageTrace, Network, RngRegistry
+
+
+@pytest.fixture
+def env():
+    """A fresh simulation environment."""
+    return Environment()
+
+
+@pytest.fixture
+def network(env):
+    """A fresh network on the default 100 Mbit LAN model."""
+    return Network(env, trace=MessageTrace(), rng=RngRegistry(12345))
+
+
+@pytest.fixture
+def two_hosts(network):
+    """Two hosts ``a`` and ``b`` on the LAN."""
+    return network.add_host("a"), network.add_host("b")

@@ -1,0 +1,50 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig4_defaults(self):
+        args = build_parser().parse_args(["fig4"])
+        assert args.max_peers == 16
+        assert args.seed == 42
+
+    def test_seed_flag_global(self):
+        args = build_parser().parse_args(["--seed", "7", "rtt"])
+        assert args.seed == 7
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["quantum"])
+
+
+class TestCommands:
+    def test_fig4_runs_small(self, capsys):
+        assert main(["fig4", "--max-peers", "4"]) == 0
+        output = capsys.readouterr().out
+        assert "Figure 4" in output
+        assert "r²" in output or "r2" in output.lower()
+
+    def test_rtt_runs_small(self, capsys):
+        assert main(["rtt", "--samples", "20"]) == 0
+        output = capsys.readouterr().out
+        assert "RTT" in output
+        assert "p95" in output
+
+    def test_failover_runs(self, capsys):
+        assert main(["failover", "--heartbeat", "0.5"]) == 0
+        output = capsys.readouterr().out
+        assert "Coordinator crash" in output
+        assert "re-binds" in output
+
+    def test_availability_runs(self, capsys):
+        assert main(["availability", "--replicas", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "Availability under churn" in output
+        assert "availability" in output

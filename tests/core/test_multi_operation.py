@@ -1,0 +1,90 @@
+"""Tests for multi-operation services: one b-peer group per operation."""
+
+import pytest
+
+from repro.backend import (
+    student_database,
+    student_enrollment,
+    student_lookup_operational,
+)
+from repro.core import WhisperSystem
+from repro.soap import SoapFault
+from repro.wsdl import student_admin_wsdl
+
+
+@pytest.fixture
+def system():
+    return WhisperSystem(seed=91)
+
+
+@pytest.fixture
+def deployed(system):
+    database = student_database()
+    service = system.deploy_service(
+        student_admin_wsdl(),
+        {
+            "StudentInformation": [
+                student_lookup_operational(database) for _ in range(2)
+            ],
+            "EnrollStudent": [student_enrollment(database) for _ in range(2)],
+        },
+    )
+    system.settle(6.0)
+    return service
+
+
+def _call(system, service, operation, arguments):
+    node, soap = system.add_client(f"client-{operation}-{system.env.now}")
+    outcome = {}
+
+    def caller():
+        try:
+            outcome["value"] = yield from soap.call(
+                service.address, service.path, operation, arguments, timeout=30.0
+            )
+        except SoapFault as fault:
+            outcome["error"] = fault
+
+    system.env.run(until=node.spawn(caller()))
+    return outcome
+
+
+class TestMultiOperation:
+    def test_two_groups_deployed(self, deployed):
+        assert set(deployed.groups) == {"StudentInformation", "EnrollStudent"}
+        info_group = deployed.group_for("StudentInformation")
+        enroll_group = deployed.group_for("EnrollStudent")
+        assert info_group.group_id != enroll_group.group_id
+        assert info_group.advertisement.action != enroll_group.advertisement.action
+
+    def test_operations_route_to_their_groups(self, system, deployed):
+        outcome = _call(
+            system, deployed, "StudentInformation", {"ID": "S00001"}
+        )
+        assert outcome["value"]["studentId"] == "S00001"
+        outcome = _call(
+            system, deployed, "EnrollStudent", {"ID": "S00001", "course": "X999"}
+        )
+        assert "X999" in outcome["value"]["enrolledCourses"]
+        info_exec = deployed.group_for("StudentInformation").total_requests_executed()
+        enroll_exec = deployed.group_for("EnrollStudent").total_requests_executed()
+        assert info_exec == 1
+        assert enroll_exec == 1
+
+    def test_enrollment_persists(self, system, deployed):
+        _call(system, deployed, "EnrollStudent", {"ID": "S00002", "course": "Z111"})
+        outcome = _call(system, deployed, "StudentInformation", {"ID": "S00002"})
+        assert "Z111" in outcome["value"]["enrolledCourses"]
+
+    def test_one_group_failure_does_not_affect_other(self, system, deployed):
+        for peer in deployed.group_for("EnrollStudent").peers:
+            peer.node.crash()
+        outcome = _call(system, deployed, "StudentInformation", {"ID": "S00003"})
+        assert "value" in outcome
+
+    def test_unknown_operations_rejected_at_deploy(self, system):
+        with pytest.raises(ValueError, match="unknown operations"):
+            system.deploy_service(
+                student_admin_wsdl(),
+                {"Ghost": [student_lookup_operational(student_database())]},
+            )

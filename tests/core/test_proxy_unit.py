@@ -1,0 +1,162 @@
+"""Focused unit tests for SWS-proxy behaviours."""
+
+import pytest
+
+from repro.core import NoMatchingGroupError, WhisperSystem
+from repro.core.bpeer import PROTO_EXEC, ExecReply
+from repro.soap import SoapFault
+
+
+@pytest.fixture
+def system():
+    return WhisperSystem(seed=51)
+
+
+@pytest.fixture
+def deployed(system):
+    service = system.deploy_student_service(replicas=3)
+    system.settle(6.0)
+    return service
+
+
+def _invoke(system, proxy, operation, arguments, **kwargs):
+    outcome = {}
+
+    def runner():
+        try:
+            outcome["value"] = yield from proxy.invoke(operation, arguments, **kwargs)
+        except Exception as error:  # noqa: BLE001 - captured for assertions
+            outcome["error"] = error
+
+    system.env.run(until=proxy.node.spawn(runner()))
+    return outcome
+
+
+class TestDiscoveryPath:
+    def test_find_peer_group_adv_returns_matches(self, system, deployed):
+        proxy = deployed.proxy
+        matches = {}
+
+        def runner():
+            matches["found"] = yield from proxy.find_peer_group_adv(
+                "StudentInformation"
+            )
+
+        system.env.run(until=proxy.node.spawn(runner()))
+        assert len(matches["found"]) == 1
+        assert matches["found"][0].advertisement.name == deployed.group.name
+
+    def test_local_cache_hit_skips_remote_discovery(self, system, deployed):
+        proxy = deployed.proxy
+        _invoke(system, proxy, "StudentInformation", {"ID": "S00001"})
+        discoveries = proxy.stats.remote_discoveries
+        _invoke(system, proxy, "StudentInformation", {"ID": "S00002"})
+        assert proxy.stats.remote_discoveries == discoveries
+
+    def test_no_group_raises_no_matching(self, system):
+        # A service deployed with NO backing group.
+        from repro.core import SemanticWebService, SwsProxy
+        from repro.wsdl import bank_loans_wsdl
+
+        node = system.network.add_host("lonely-web")
+        sws = SemanticWebService(bank_loans_wsdl(), system.ontology)
+        proxy = SwsProxy(node, sws, system.matcher, discovery_timeout=0.3)
+        proxy.attach_to(system.rendezvous)
+        system.settle(1.0)
+        outcome = _invoke(system, proxy, "ApproveLoan", {"request": "L00001"})
+        assert isinstance(outcome["error"], NoMatchingGroupError)
+
+
+class TestBindingPath:
+    def test_resolve_coordinator_returns_binding(self, system, deployed):
+        proxy = deployed.proxy
+        result = {}
+
+        def runner():
+            result["binding"] = yield from proxy.resolve_coordinator(
+                deployed.group.group_id
+            )
+
+        system.env.run(until=proxy.node.spawn(runner()))
+        assert result["binding"].coordinator == deployed.group.coordinator_id()
+
+    def test_drop_binding_counts_rebinds(self, system, deployed):
+        proxy = deployed.proxy
+        _invoke(system, proxy, "StudentInformation", {"ID": "S00001"})
+        proxy.drop_binding(deployed.group.group_id)
+        assert proxy.stats.rebinds == 1
+        proxy.drop_binding(deployed.group.group_id)  # already gone
+        assert proxy.stats.rebinds == 1
+
+    def test_redirect_updates_binding(self, system, deployed):
+        """Sending to a non-coordinator member redirects the proxy."""
+        proxy = deployed.proxy
+        _invoke(system, proxy, "StudentInformation", {"ID": "S00001"})
+        coordinator_id = deployed.group.coordinator_id()
+        follower = next(
+            peer for peer in deployed.group.peers
+            if peer.peer_id != coordinator_id
+        )
+        # Poison the binding to point at the follower.
+        from repro.core.proxy import _Binding
+
+        proxy._bindings[deployed.group.group_id] = _Binding(
+            deployed.group.group_id, follower.peer_id, follower.endpoint.address
+        )
+        proxy.endpoint.add_route(follower.peer_id, follower.endpoint.address)
+        outcome = _invoke(system, proxy, "StudentInformation", {"ID": "S00002"})
+        assert outcome["value"]["studentId"] == "S00002"
+        assert proxy.stats.redirects >= 1
+
+
+class TestReplyHandling:
+    def test_fault_reply_raises_soap_fault(self, system, deployed):
+        outcome = _invoke(
+            system, deployed.proxy, "StudentInformation", {"ID": "S99999"}
+        )
+        assert isinstance(outcome["error"], SoapFault)
+        assert deployed.proxy.stats.faults == 1
+
+    def test_stale_reply_ignored(self, system, deployed):
+        """A reply for an unknown request id must not crash the proxy."""
+        proxy = deployed.proxy
+        stale = ExecReply(request_id=987654, kind="result", value="ghost")
+        coordinator = deployed.group.coordinator_peer()
+        coordinator.endpoint.add_route(proxy.peer_id, proxy.endpoint.address)
+        coordinator.endpoint.send(
+            proxy.peer_id, "whisper:exec-reply", stale, category="bpeer-reply"
+        )
+        system.settle(0.5)
+        outcome = _invoke(system, proxy, "StudentInformation", {"ID": "S00001"})
+        assert "value" in outcome
+
+    def test_translation_validates_against_schema(self, system, deployed):
+        proxy = deployed.proxy
+        value = proxy._translate(
+            "StudentInformation",
+            {"studentId": "S1", "name": "A", "degree": "D"},
+        )
+        assert value["studentId"] == "S1"
+        assert proxy.stats.translation_failures == 0
+
+    def test_translation_counts_schema_mismatch(self, system, deployed):
+        proxy = deployed.proxy
+        proxy._translate("StudentInformation", {"unexpected": True})
+        assert proxy.stats.translation_failures == 1
+
+
+class TestStatsBookkeeping:
+    def test_success_recorded_in_profile(self, system, deployed):
+        proxy = deployed.proxy
+        _invoke(system, proxy, "StudentInformation", {"ID": "S00001"})
+        key = deployed.group.advertisement.key()
+        profile = proxy._profile_for(key)
+        assert profile.observations == 1
+        assert profile.successes == 1
+
+    def test_invocation_counter(self, system, deployed):
+        proxy = deployed.proxy
+        for index in range(3):
+            _invoke(system, proxy, "StudentInformation", {"ID": f"S{index + 1:05d}"})
+        assert proxy.stats.invocations == 3
+        assert proxy.stats.successes == 3

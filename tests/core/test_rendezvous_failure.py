@@ -1,0 +1,108 @@
+"""Robustness of the whole system to rendezvous failure.
+
+The rendezvous is Whisper's one privileged peer (leases, SRDI index,
+propagation).  Its crash degrades discovery of *new* services, but bound
+proxies keep working (routes are direct), and after a restart the edges'
+lease renewals, membership renewals, and advertisement republication
+rebuild the rendezvous state without operator intervention.
+"""
+
+import pytest
+
+from repro.core import WhisperSystem
+from repro.soap import RequestTimeout, SoapFault
+
+
+def _call(system, service, arguments, client, timeout=60.0):
+    node, soap = client
+    outcome = {}
+
+    def caller():
+        try:
+            outcome["value"] = yield from soap.call(
+                service.address, service.path, "StudentInformation", arguments,
+                timeout=timeout,
+            )
+        except (SoapFault, RequestTimeout) as error:
+            outcome["error"] = error
+
+    system.env.run(until=node.spawn(caller()))
+    return outcome
+
+
+class TestRendezvousFailure:
+    def test_bound_proxy_survives_rdv_outage(self):
+        system = WhisperSystem(seed=95)
+        service = system.deploy_student_service(replicas=3)
+        system.settle(6.0)
+        client = system.add_client("rdv-outage-client")
+        _call(system, service, {"ID": "S00001"}, client)  # bind while healthy
+        system.rendezvous.node.crash()
+        outcome = _call(system, service, {"ID": "S00002"}, client)
+        assert "value" in outcome  # direct proxy->coordinator route survives
+
+    def test_rdv_restart_rebuilds_srdi(self):
+        system = WhisperSystem(seed=96)
+        service = system.deploy_student_service(replicas=3)
+        system.settle(6.0)
+        system.rendezvous.node.crash()
+        assert len(system.rendezvous.rendezvous.srdi) == 0
+        system.rendezvous.node.restart()
+        # Lease renewals (≤15s) re-establish clients; republication (≤10s)
+        # refills the SRDI index with the semantic advertisement.
+        system.settle(30.0)
+        from repro.p2p import SemanticAdvertisement
+
+        semantic = system.rendezvous.rendezvous.srdi_lookup(
+            lambda adv: isinstance(adv, SemanticAdvertisement)
+        )
+        assert any(
+            adv.name == service.group.name for adv in semantic
+        ), "semantic advertisement must be republished after rdv restart"
+
+    def test_new_proxy_discovers_after_rdv_restart(self):
+        """A proxy arriving *after* the outage still finds the group."""
+        from repro.core import SemanticWebService, SwsProxy
+        from repro.wsdl import student_management_wsdl
+
+        system = WhisperSystem(seed=97)
+        service = system.deploy_student_service(replicas=3)
+        system.settle(6.0)
+        system.rendezvous.node.crash()
+        system.settle(5.0)
+        system.rendezvous.node.restart()
+        system.settle(30.0)
+
+        node = system.network.add_host("late-web")
+        sws = SemanticWebService(student_management_wsdl(), system.ontology)
+        proxy = SwsProxy(node, sws, system.matcher)
+        proxy.attach_to(system.rendezvous)
+        system.settle(2.0)
+        outcome = {}
+
+        def runner():
+            try:
+                outcome["value"] = yield from proxy.invoke(
+                    "StudentInformation", {"ID": "S00003"}
+                )
+            except Exception as error:  # noqa: BLE001
+                outcome["error"] = error
+
+        system.env.run(until=node.spawn(runner()))
+        assert outcome.get("value", {}).get("studentId") == "S00003", outcome
+
+    def test_membership_registry_rebuilt_after_restart(self):
+        from repro.p2p.peergroup import ANNOUNCE_PERIOD
+
+        system = WhisperSystem(seed=98)
+        service = system.deploy_student_service(replicas=3)
+        system.settle(6.0)
+        system.rendezvous.node.crash()
+        system.rendezvous.node.restart()
+        system.settle(ANNOUNCE_PERIOD * 2 + 2.0)
+        registry = system.rendezvous.groups._registry.get(
+            service.group.group_id, {}
+        )
+        now = system.env.now
+        alive = [p for p, (_a, expiry) in registry.items() if expiry > now]
+        assert len(alive) == 3

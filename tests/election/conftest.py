@@ -1,0 +1,23 @@
+"""Fixtures for election tests: a joined group of peers."""
+
+import pytest
+
+from repro.p2p import Peer, PeerGroupId
+
+GROUP_ID = PeerGroupId.from_name("election-group")
+
+
+@pytest.fixture
+def group(env, network):
+    """Rendezvous + 5 edges all joined into one group, settled."""
+    rendezvous = Peer(network.add_host("rdv"), is_rendezvous=True)
+    rendezvous.publish_self(remote=False)
+    peers = []
+    for index in range(5):
+        peer = Peer(network.add_host(f"peer{index}"))
+        peer.attach_to(rendezvous)
+        peer.publish_self(remote=True)
+        peer.groups.join(GROUP_ID, "election-group")
+        peers.append(peer)
+    env.run(until=1.0)
+    return rendezvous, peers

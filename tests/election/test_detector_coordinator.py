@@ -1,0 +1,154 @@
+"""Unit tests for the heartbeat detector and the coordination glue."""
+
+import pytest
+
+from repro.election import GroupCoordinator, HeartbeatMonitor
+
+from .conftest import GROUP_ID
+
+
+def _monitors(peers, **kwargs):
+    """One monitor per member — as in production, where every b-peer's
+    GroupCoordinator registers one (a member without a monitor would not
+    answer pings)."""
+    return [HeartbeatMonitor(peer.groups, GROUP_ID, **kwargs) for peer in peers]
+
+
+class TestHeartbeatMonitor:
+    def test_healthy_target_not_suspected(self, env, group):
+        _rendezvous, peers = group
+        monitors = _monitors(peers, interval=0.5)
+        failures = []
+        monitors[0].watch(peers[1].peer_id, lambda failed: failures.append(failed))
+        env.run(until=env.now + 10.0)
+        assert failures == []
+        assert monitors[0].pings_sent > 5
+        assert monitors[0].pongs_received > 5
+
+    def test_dead_target_suspected(self, env, group):
+        _rendezvous, peers = group
+        monitors = _monitors(peers, interval=0.5, miss_threshold=3)
+        failures = []
+        monitors[0].watch(peers[1].peer_id, lambda failed: failures.append(failed))
+        env.run(until=env.now + 2.0)
+        peers[1].node.crash()
+        env.run(until=env.now + 10.0)
+        assert failures == [peers[1].peer_id]
+        assert monitors[0].failures_reported == 1
+
+    def test_detection_time_scales_with_interval(self, env, group):
+        _rendezvous, peers = group
+        monitors = _monitors(peers, interval=0.5, miss_threshold=3)
+        detected_at = []
+        monitors[0].watch(peers[1].peer_id, lambda failed: detected_at.append(env.now))
+        env.run(until=env.now + 2.0)
+        crash_time = env.now
+        peers[1].node.crash()
+        env.run(until=env.now + 20.0)
+        detection_delay = detected_at[0] - crash_time
+        # ~ miss_threshold * (interval + 0.9 * interval), plus slack.
+        assert 1.0 < detection_delay < 6.0
+
+    def test_watching_self_is_noop(self, env, group):
+        _rendezvous, peers = group
+        monitor = HeartbeatMonitor(peers[0].groups, GROUP_ID)
+        monitor.watch(peers[0].peer_id, lambda failed: None)
+        assert not monitor.active
+
+    def test_stop_halts_monitoring(self, env, group):
+        _rendezvous, peers = group
+        monitors = _monitors(peers, interval=0.5)
+        failures = []
+        monitors[0].watch(peers[1].peer_id, lambda failed: failures.append(failed))
+        env.run(until=env.now + 2.0)
+        monitors[0].stop()
+        peers[1].node.crash()
+        env.run(until=env.now + 10.0)
+        assert failures == []
+
+    def test_abdicated_coordinator_detected(self, env, group):
+        """A live peer that answers pings but denies coordinating is
+        eventually reported (split-brain repair)."""
+        _rendezvous, peers = group
+        monitors = _monitors(peers, interval=0.5, miss_threshold=2)
+        # peers[1] answers pings with coordinating=False.
+        monitors[1].is_coordinator_check = lambda: False
+        failures = []
+        monitors[0].watch(peers[1].peer_id, lambda failed: failures.append(failed))
+        env.run(until=env.now + 10.0)
+        assert failures == [peers[1].peer_id]
+
+
+class TestGroupCoordinator:
+    def _coordinators(self, peers, **kwargs):
+        return [
+            GroupCoordinator(peer.groups, GROUP_ID, **kwargs) for peer in peers
+        ]
+
+    def test_bootstrap_elects_and_monitors(self, env, group):
+        _rendezvous, peers = group
+        coordinators = self._coordinators(peers, heartbeat_interval=0.5)
+        coordinators[0].bootstrap()
+        env.run(until=env.now + 5.0)
+        leaders = [c for c in coordinators if c.is_coordinator]
+        assert len(leaders) == 1
+        followers = [c for c in coordinators if not c.is_coordinator]
+        assert all(c.monitor.active for c in followers)
+
+    def test_failover_elects_new_coordinator(self, env, group):
+        _rendezvous, peers = group
+        coordinators = self._coordinators(
+            peers, heartbeat_interval=0.5, miss_threshold=2
+        )
+        coordinators[0].bootstrap()
+        env.run(until=env.now + 5.0)
+        old = next(c.coordinator for c in coordinators)
+        victim = next(p for p in peers if p.peer_id == old)
+        victim.node.crash()
+        env.run(until=env.now + 15.0)
+        survivors = [
+            c for c, p in zip(coordinators, peers) if p.node.up
+        ]
+        beliefs = {c.coordinator for c in survivors}
+        assert len(beliefs) == 1
+        assert beliefs.pop() != old
+        assert any(c.failovers > 0 for c in survivors)
+
+    def test_watchdog_self_heals_without_bootstrap(self, env, group):
+        """Even with no explicit bootstrap, the watchdog elects a leader."""
+        _rendezvous, peers = group
+        coordinators = self._coordinators(peers, heartbeat_interval=0.5)
+        env.run(until=env.now + 10.0)
+        assert len({c.coordinator for c in coordinators}) == 1
+        assert any(c.is_coordinator for c in coordinators)
+
+    def test_change_listener_fires(self, env, group):
+        _rendezvous, peers = group
+        coordinators = self._coordinators(peers, heartbeat_interval=0.5)
+        changes = []
+        coordinators[0].on_change(lambda new: changes.append(new))
+        coordinators[0].bootstrap()
+        env.run(until=env.now + 5.0)
+        assert changes
+
+    def test_double_failover(self, env, group):
+        """Two successive coordinator crashes still converge."""
+        _rendezvous, peers = group
+        coordinators = self._coordinators(
+            peers, heartbeat_interval=0.5, miss_threshold=2
+        )
+        coordinators[0].bootstrap()
+        env.run(until=env.now + 5.0)
+        for _round in range(2):
+            leader_id = next(
+                c.coordinator for c, p in zip(coordinators, peers) if p.node.up
+            )
+            victim = next(p for p in peers if p.peer_id == leader_id)
+            victim.node.crash()
+            env.run(until=env.now + 15.0)
+        survivors = [c for c, p in zip(coordinators, peers) if p.node.up]
+        assert len(survivors) == 3
+        beliefs = {c.coordinator for c in survivors}
+        assert len(beliefs) == 1
+        leader = beliefs.pop()
+        assert leader in {p.peer_id for p in peers if p.node.up}

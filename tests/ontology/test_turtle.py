@@ -1,0 +1,150 @@
+"""Unit tests for Turtle serialisation."""
+
+import pytest
+
+from repro.ontology import (
+    SM,
+    Ontology,
+    Reasoner,
+    TurtleParseError,
+    b2b_ontology,
+    ontology_from_turtle,
+    ontology_to_turtle,
+    university_ontology,
+)
+
+
+class TestWriter:
+    def test_prefix_directives_emitted(self):
+        text = ontology_to_turtle(university_ontology())
+        assert "@prefix sm: <http://uma.pt/ontologies/student#> ." in text
+        assert "@prefix owl:" in text
+
+    def test_classes_use_curies(self):
+        text = ontology_to_turtle(university_ontology())
+        assert "sm:StudentID a owl:Class" in text
+        assert "rdfs:subClassOf sm:Identifier" in text
+
+    def test_equivalence_emitted(self):
+        text = ontology_to_turtle(university_ontology())
+        assert "owl:equivalentClass sm:StudentNumber" in text
+
+    def test_labels_escaped(self):
+        onto = Ontology("http://t.org/o", label='Has "quotes" and\nnewline')
+        onto.add_concept("http://t.org/o#A")
+        text = ontology_to_turtle(onto)
+        assert '\\"quotes\\"' in text
+        assert "\\n" in text
+
+    def test_unprefixed_uris_use_angle_brackets(self):
+        onto = Ontology("http://t.org/o", label="T")
+        onto.add_concept("http://elsewhere.org/deep/Thing")
+        text = ontology_to_turtle(onto)
+        assert "<http://elsewhere.org/deep/Thing> a owl:Class" in text
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("factory", [university_ontology, b2b_ontology])
+    def test_structure_survives(self, factory):
+        original = factory()
+        parsed = ontology_from_turtle(ontology_to_turtle(original))
+        assert parsed.uri == original.uri
+        assert set(parsed.concepts) == set(original.concepts)
+        for uri, concept in original.concepts.items():
+            assert parsed.concepts[uri].parents == concept.parents, uri
+            assert parsed.concepts[uri].equivalents >= concept.equivalents, uri
+        assert set(parsed.properties) == set(original.properties)
+
+    def test_reasoning_survives(self):
+        original = university_ontology()
+        parsed = ontology_from_turtle(ontology_to_turtle(original))
+        original_reasoner = Reasoner(original)
+        parsed_reasoner = Reasoner(parsed)
+        for uri in original.concepts:
+            assert original_reasoner.ancestors(uri) == parsed_reasoner.ancestors(uri)
+        assert parsed_reasoner.equivalent(SM["StudentID"], SM["StudentNumber"])
+
+    def test_labels_and_comments_survive(self):
+        parsed = ontology_from_turtle(ontology_to_turtle(university_ontology()))
+        assert parsed.concepts[SM["StudentID"]].label == "Student ID"
+        assert parsed.concepts[SM["StudentInfo"]].comment
+
+    def test_individuals_survive(self):
+        onto = university_ontology()
+        onto.add_individual(SM["s-42"], types=[SM["Student"]])
+        parsed = ontology_from_turtle(ontology_to_turtle(onto))
+        assert SM["Student"] in parsed.individuals[SM["s-42"]].types
+
+    def test_datatype_range_keeps_compact_form(self):
+        parsed = ontology_from_turtle(ontology_to_turtle(university_ontology()))
+        assert parsed.properties[SM["hasID"]].range == "xsd:string"
+
+
+class TestParser:
+    def test_handwritten_document(self):
+        document = """
+        @prefix ex: <http://example.org/o#> .
+        @prefix owl: <http://www.w3.org/2002/07/owl#> .
+        @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+
+        <http://example.org/o> a owl:Ontology ;
+            rdfs:label "Example" .
+
+        ex:Animal a owl:Class .
+        ex:Dog a owl:Class ;
+            rdfs:subClassOf ex:Animal ;   # a comment after a triple
+            rdfs:label "Dog" .
+        """
+        onto = ontology_from_turtle(document)
+        assert onto.label == "Example"
+        assert onto.concepts["http://example.org/o#Dog"].parents == {
+            "http://example.org/o#Animal"
+        }
+
+    def test_comma_separated_objects(self):
+        document = """
+        @prefix ex: <http://example.org/o#> .
+        @prefix owl: <http://www.w3.org/2002/07/owl#> .
+        <http://example.org/o> a owl:Ontology .
+        ex:A a owl:Class .
+        ex:B a owl:Class .
+        ex:C a owl:Class ;
+            rdfs:subClassOf ex:A, ex:B .
+        """
+        # rdfs prefix must be declared for the subClassOf term.
+        document = document.replace(
+            "@prefix owl:",
+            "@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n@prefix owl:",
+        )
+        onto = ontology_from_turtle(document)
+        assert onto.concepts["http://example.org/o#C"].parents == {
+            "http://example.org/o#A",
+            "http://example.org/o#B",
+        }
+
+    def test_hash_inside_iri_not_a_comment(self):
+        document = """
+        @prefix owl: <http://www.w3.org/2002/07/owl#> .
+        <http://example.org/o> a owl:Ontology .
+        <http://example.org/o#Thing> a owl:Class .
+        """
+        onto = ontology_from_turtle(document)
+        assert "http://example.org/o#Thing" in onto.concepts
+
+    def test_unknown_prefix_rejected(self):
+        with pytest.raises(TurtleParseError, match="unknown prefix"):
+            ontology_from_turtle(
+                "<http://x> a owl:Ontology .\nzz:Thing a owl:Class ."
+            )
+
+    def test_empty_document_rejected(self):
+        with pytest.raises(TurtleParseError):
+            ontology_from_turtle("   \n  ")
+
+    def test_missing_ontology_header_rejected(self):
+        with pytest.raises(TurtleParseError, match="owl:Ontology"):
+            ontology_from_turtle(
+                "@prefix owl: <http://www.w3.org/2002/07/owl#> .\n"
+                "@prefix ex: <http://e.org#> .\n"
+                "ex:A a owl:Class ."
+            )

@@ -1,0 +1,22 @@
+"""Shared fixtures for P2P tests: a rendezvous plus attached edge peers."""
+
+import pytest
+
+from repro.p2p import Peer
+
+
+@pytest.fixture
+def p2p(env, network):
+    """One rendezvous + 4 edges, attached, published, and settled."""
+    rdv_node = network.add_host("rdv")
+    rendezvous = Peer(rdv_node, is_rendezvous=True)
+    rendezvous.publish_self(remote=False)
+    edges = []
+    for index in range(4):
+        node = network.add_host(f"edge{index}")
+        peer = Peer(node)
+        peer.attach_to(rendezvous)
+        peer.publish_self(remote=True)
+        edges.append(peer)
+    env.run(until=0.5)
+    return rendezvous, edges

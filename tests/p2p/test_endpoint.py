@@ -1,0 +1,135 @@
+"""Unit tests for the endpoint service (peer-ID messaging + relays)."""
+
+import pytest
+
+from repro.p2p import (
+    EndpointService,
+    Peer,
+    PeerId,
+    UnresolvablePeerError,
+    attach_nat_peer,
+    configure_relay,
+)
+
+
+def _endpoint(network, host_name, nat=False):
+    node = network.add_host(host_name)
+    return EndpointService(node, PeerId.from_name(host_name), nat_isolated=nat)
+
+
+class TestDirectMessaging:
+    def test_send_by_peer_id(self, env, network):
+        a = _endpoint(network, "a")
+        b = _endpoint(network, "b")
+        a.add_route(b.peer_id, b.address)
+        got = []
+        b.register_listener("test", lambda msg: got.append(msg.payload))
+        a.send(b.peer_id, "test", {"hello": 1})
+        env.run(until=0.1)
+        assert got == [{"hello": 1}]
+        assert a.messages_out == 1
+        assert b.messages_in == 1
+
+    def test_unknown_peer_raises(self, env, network):
+        a = _endpoint(network, "a")
+        with pytest.raises(UnresolvablePeerError):
+            a.send(PeerId.from_name("ghost"), "test", None)
+
+    def test_listener_dispatch_by_protocol(self, env, network):
+        a = _endpoint(network, "a")
+        b = _endpoint(network, "b")
+        a.add_route(b.peer_id, b.address)
+        got = {"x": [], "y": []}
+        b.register_listener("x", lambda m: got["x"].append(m.payload))
+        b.register_listener("y", lambda m: got["y"].append(m.payload))
+        a.send(b.peer_id, "x", 1)
+        a.send(b.peer_id, "y", 2)
+        a.send(b.peer_id, "unregistered", 3)
+        env.run(until=0.1)
+        assert got == {"x": [1], "y": [2]}
+
+    def test_unregister_listener(self, env, network):
+        a = _endpoint(network, "a")
+        b = _endpoint(network, "b")
+        a.add_route(b.peer_id, b.address)
+        got = []
+        b.register_listener("x", lambda m: got.append(m.payload))
+        b.unregister_listener("x")
+        a.send(b.peer_id, "x", 1)
+        env.run(until=0.1)
+        assert got == []
+
+    def test_message_category_recorded(self, env, network):
+        a = _endpoint(network, "a")
+        b = _endpoint(network, "b")
+        a.add_route(b.peer_id, b.address)
+        a.send(b.peer_id, "proto", None, category="custom-cat")
+        env.run(until=0.1)
+        assert network.trace.sent_by_category["custom-cat"] == 1
+
+
+class TestRelay:
+    def test_send_via_intermediate(self, env, network):
+        a = _endpoint(network, "a")
+        relay = _endpoint(network, "r")
+        b = _endpoint(network, "b")
+        a.add_route(relay.peer_id, relay.address)
+        relay.add_route(b.peer_id, b.address)
+        got = []
+        b.register_listener("x", lambda m: got.append((m.payload, m.relayed)))
+        a.send_via(relay.peer_id, b.peer_id, "x", "through-relay")
+        env.run(until=0.1)
+        assert got == [("through-relay", True)]
+
+    def test_nat_peer_reachable_through_relay(self, env, network):
+        relay = _endpoint(network, "relay")
+        public = _endpoint(network, "public")
+        nat = _endpoint(network, "nat", nat=True)
+        attach_nat_peer(nat, relay, [public])
+        got = []
+        nat.register_listener("x", lambda m: got.append(m.payload))
+        public.send(nat.peer_id, "x", "hi-nat")
+        env.run(until=0.1)
+        assert got == ["hi-nat"]
+
+    def test_nat_peer_sends_out_through_relay(self, env, network):
+        relay = _endpoint(network, "relay")
+        public = _endpoint(network, "public")
+        nat = _endpoint(network, "nat", nat=True)
+        attach_nat_peer(nat, relay, [public])
+        got = []
+        public.register_listener("x", lambda m: got.append(m.payload))
+        nat.send(public.peer_id, "x", "from-nat")
+        env.run(until=0.1)
+        assert got == ["from-nat"]
+        # Two hops: nat->relay and relay->public.
+        assert network.trace.sent_total >= 2
+
+    def test_configure_relay_wires_clients(self, env, network):
+        relay = _endpoint(network, "relay")
+        a = _endpoint(network, "a")
+        b = _endpoint(network, "b")
+        configure_relay(relay, [a, b])
+        assert a.relay_peer == relay.peer_id
+        assert relay.route_for(a.peer_id) == a.address
+
+    def test_nat_without_relay_raises(self, env, network):
+        a = _endpoint(network, "a")
+        b = _endpoint(network, "b")
+        a.add_route(b.peer_id, b.address, nat_isolated=True)
+        with pytest.raises(UnresolvablePeerError):
+            a.send(b.peer_id, "x", None)
+
+
+class TestCrashRecovery:
+    def test_endpoint_rebinds_after_restart(self, env, network):
+        a = _endpoint(network, "a")
+        b = _endpoint(network, "b")
+        a.add_route(b.peer_id, b.address)
+        b.node.crash()
+        b.node.restart()
+        got = []
+        b.register_listener("x", lambda m: got.append(m.payload))
+        a.send(b.peer_id, "x", "after-restart")
+        env.run(until=0.1)
+        assert got == ["after-restart"]

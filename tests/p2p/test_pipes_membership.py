@@ -1,0 +1,131 @@
+"""Unit tests for pipes and the membership (credential) service."""
+
+import pytest
+
+from repro.p2p import (
+    MembershipError,
+    PipeAdvertisement,
+    PipeBindError,
+    PipeId,
+    PeerGroupId,
+)
+from repro.p2p.membership import CREDENTIAL_LIFETIME
+
+
+def _pipe_adv(name, pipe_type=PipeAdvertisement.UNICAST):
+    return PipeAdvertisement(
+        pipe_id=PipeId.from_name(name), name=name, pipe_type=pipe_type
+    )
+
+
+class TestPipes:
+    def test_bind_and_send(self, env, p2p):
+        _rendezvous, edges = p2p
+        advertisement = _pipe_adv("orders")
+        input_pipe = edges[1].pipes.create_input_pipe(advertisement)
+        got = []
+
+        def reader():
+            datagram = yield input_pipe.recv()
+            got.append((datagram.payload, datagram.src_peer))
+
+        edges[1].node.spawn(reader())
+
+        def writer():
+            output = yield from edges[2].pipes.bind_output_pipe(advertisement, timeout=0.5)
+            output.send({"order": 7})
+
+        env.run(until=edges[2].node.spawn(writer()))
+        env.run(until=env.now + 0.2)
+        assert got == [({"order": 7}, edges[2].peer_id)]
+
+    def test_bind_unbound_pipe_raises(self, env, p2p):
+        _rendezvous, edges = p2p
+        outcome = {}
+
+        def writer():
+            try:
+                yield from edges[2].pipes.bind_output_pipe(_pipe_adv("ghost"), timeout=0.3)
+            except PipeBindError as error:
+                outcome["error"] = error
+
+        env.run(until=edges[2].node.spawn(writer()))
+        assert "error" in outcome
+
+    def test_closed_input_pipe_silently_drops(self, env, p2p):
+        _rendezvous, edges = p2p
+        advertisement = _pipe_adv("closing")
+        input_pipe = edges[1].pipes.create_input_pipe(advertisement)
+
+        def writer():
+            output = yield from edges[2].pipes.bind_output_pipe(advertisement, timeout=0.5)
+            input_pipe.close()
+            output.send("too-late")
+
+        env.run(until=edges[2].node.spawn(writer()))
+        env.run(until=env.now + 0.2)
+        assert len(input_pipe.inbox) == 0
+
+    def test_multiple_messages_all_delivered(self, env, p2p):
+        """Pipes are datagram channels: delivery is complete but may
+        reorder under independent per-message latencies."""
+        _rendezvous, edges = p2p
+        advertisement = _pipe_adv("stream")
+        input_pipe = edges[1].pipes.create_input_pipe(advertisement)
+        got = []
+
+        def reader():
+            for _ in range(3):
+                datagram = yield input_pipe.recv()
+                got.append(datagram.payload)
+
+        reader_process = edges[1].node.spawn(reader())
+
+        def writer():
+            output = yield from edges[2].pipes.bind_output_pipe(advertisement, timeout=0.5)
+            for index in range(3):
+                output.send(index)
+
+        edges[2].node.spawn(writer())
+        env.run(until=reader_process)
+        assert sorted(got) == [0, 1, 2]
+
+
+class TestMembershipService:
+    def test_join_issues_credential(self, env, p2p):
+        _rendezvous, edges = p2p
+        group_id = PeerGroupId.from_name("g")
+        credential = edges[0].membership.join(group_id)
+        assert credential.peer_id == edges[0].peer_id
+        assert credential.group_id == group_id
+        assert credential.valid_at(env.now)
+
+    def test_current_credential(self, env, p2p):
+        _rendezvous, edges = p2p
+        group_id = PeerGroupId.from_name("g")
+        assert edges[0].membership.current_credential(group_id) is None
+        edges[0].membership.join(group_id)
+        assert edges[0].membership.current_credential(group_id) is not None
+
+    def test_resign_discards(self, env, p2p):
+        _rendezvous, edges = p2p
+        group_id = PeerGroupId.from_name("g")
+        edges[0].membership.join(group_id)
+        edges[0].membership.resign(group_id)
+        assert edges[0].membership.current_credential(group_id) is None
+
+    def test_verify_wrong_group_rejected(self, env, p2p):
+        _rendezvous, edges = p2p
+        group_a = PeerGroupId.from_name("a")
+        group_b = PeerGroupId.from_name("b")
+        credential = edges[0].membership.join(group_a)
+        with pytest.raises(MembershipError):
+            edges[0].membership.verify(credential, group_b)
+
+    def test_expired_credential_rejected(self, env, p2p):
+        _rendezvous, edges = p2p
+        group_id = PeerGroupId.from_name("g")
+        credential = edges[0].membership.join(group_id)
+        env.run(until=env.now + CREDENTIAL_LIFETIME + 1)
+        with pytest.raises(MembershipError):
+            edges[0].membership.verify(credential, group_id)

@@ -1,0 +1,93 @@
+"""Unit tests for propagate (one-to-many) pipes."""
+
+import pytest
+
+from repro.p2p import PipeAdvertisement, PipeBindError, PipeId
+
+
+def _propagate_adv(name="events"):
+    return PipeAdvertisement(
+        pipe_id=PipeId.from_name(name), name=name,
+        pipe_type=PipeAdvertisement.PROPAGATE,
+    )
+
+
+class TestPropagatePipe:
+    def test_all_open_copies_receive(self, env, p2p):
+        _rendezvous, edges = p2p
+        advertisement = _propagate_adv()
+        pipes = [edge.pipes.open_propagate_pipe(advertisement) for edge in edges[:3]]
+        got = []
+
+        def reader(pipe, name):
+            datagram = yield pipe.recv()
+            got.append((name, datagram.payload))
+
+        for pipe, edge in zip(pipes, edges[:3]):
+            edge.node.spawn(reader(pipe, edge.name))
+        pipes[0].send({"event": "deploy"})
+        env.run(until=env.now + 0.3)
+        names = sorted(name for name, _payload in got)
+        assert names == ["edge0", "edge1", "edge2"]
+        assert all(payload == {"event": "deploy"} for _n, payload in got)
+
+    def test_sender_also_receives_loopback(self, env, p2p):
+        _rendezvous, edges = p2p
+        advertisement = _propagate_adv("loopback")
+        pipe = edges[0].pipes.open_propagate_pipe(advertisement)
+        got = []
+
+        def reader():
+            datagram = yield pipe.recv()
+            got.append(datagram.src_peer)
+
+        edges[0].node.spawn(reader())
+        pipe.send("self-event")
+        env.run(until=env.now + 0.3)
+        assert got == [edges[0].peer_id]
+
+    def test_unopened_peers_do_not_receive(self, env, p2p):
+        _rendezvous, edges = p2p
+        advertisement = _propagate_adv("selective")
+        sender = edges[0].pipes.open_propagate_pipe(advertisement)
+        bystander_pipe = edges[3].pipes  # edge3 never opens the pipe
+        sender.send("x")
+        env.run(until=env.now + 0.3)
+        assert bystander_pipe._propagate_pipes.get(advertisement.pipe_id) is None
+
+    def test_closed_pipe_stops_receiving(self, env, p2p):
+        _rendezvous, edges = p2p
+        advertisement = _propagate_adv("closing")
+        sender = edges[0].pipes.open_propagate_pipe(advertisement)
+        receiver = edges[1].pipes.open_propagate_pipe(advertisement)
+        receiver.close()
+        sender.send("after-close")
+        env.run(until=env.now + 0.3)
+        assert len(receiver.inbox) == 0
+
+    def test_wrong_type_rejected(self, env, p2p):
+        _rendezvous, edges = p2p
+        unicast = PipeAdvertisement(
+            pipe_id=PipeId.from_name("u"), name="u",
+            pipe_type=PipeAdvertisement.UNICAST,
+        )
+        with pytest.raises(ValueError):
+            edges[0].pipes.open_propagate_pipe(unicast)
+
+    def test_multiple_messages_all_arrive(self, env, p2p):
+        _rendezvous, edges = p2p
+        advertisement = _propagate_adv("stream")
+        sender = edges[0].pipes.open_propagate_pipe(advertisement)
+        receiver = edges[2].pipes.open_propagate_pipe(advertisement)
+        got = []
+
+        def reader():
+            for _ in range(3):
+                datagram = yield receiver.recv()
+                got.append(datagram.payload)
+
+        process = edges[2].node.spawn(reader())
+        for index in range(3):
+            sender.send(index)
+        env.run(until=process)
+        assert sorted(got) == [0, 1, 2]

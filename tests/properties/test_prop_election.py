@@ -1,0 +1,85 @@
+"""Property-based tests: Bully election safety under random crash schedules.
+
+The invariant Whisper's availability rests on: after any sequence of
+crashes (leaving at least one live member) and a quiet period, every live
+member of the group agrees on one live coordinator, and that coordinator
+knows it coordinates.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.election import GroupCoordinator
+from repro.p2p import Peer, PeerGroupId
+from repro.simnet import Environment, MessageTrace, Network, RngRegistry
+
+GROUP_ID = PeerGroupId.from_name("prop-election")
+
+
+def _build(size, seed):
+    env = Environment()
+    network = Network(env, trace=MessageTrace(), rng=RngRegistry(seed))
+    rendezvous = Peer(network.add_host("rdv"), is_rendezvous=True)
+    rendezvous.publish_self(remote=False)
+    peers = []
+    coordinators = []
+    for index in range(size):
+        peer = Peer(network.add_host(f"p{index}"))
+        peer.attach_to(rendezvous)
+        peer.publish_self(remote=True)
+        peer.groups.join(GROUP_ID, "prop-election")
+        peers.append(peer)
+    env.run(until=1.0)
+    for peer in peers:
+        coordinators.append(
+            GroupCoordinator(
+                peer.groups, GROUP_ID, heartbeat_interval=0.5, miss_threshold=2
+            )
+        )
+    coordinators[0].bootstrap()
+    env.run(until=6.0)
+    return env, peers, coordinators
+
+
+@given(
+    size=st.integers(min_value=2, max_value=6),
+    crash_plan=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=5),   # which peer (mod alive)
+            st.floats(min_value=0.5, max_value=5.0), # gap before the crash
+        ),
+        max_size=3,
+    ),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=25, deadline=None)
+def test_live_members_converge_on_one_live_coordinator(size, crash_plan, seed):
+    env, peers, coordinators = _build(size, seed)
+
+    for victim_index, gap in crash_plan:
+        alive = [peer for peer in peers if peer.node.up]
+        if len(alive) <= 1:
+            break
+        victim = alive[victim_index % len(alive)]
+        env.run(until=env.now + gap)
+        victim.node.crash()
+
+    # Quiet period: detection (2 x 0.95s) + election + watchdog slack.
+    env.run(until=env.now + 25.0)
+
+    survivors = [
+        (peer, coordinator)
+        for peer, coordinator in zip(peers, coordinators)
+        if peer.node.up
+    ]
+    assert survivors, "the crash plan never kills everyone"
+    beliefs = {coordinator.coordinator for _peer, coordinator in survivors}
+    assert len(beliefs) == 1, f"diverged beliefs: {beliefs}"
+    leader = beliefs.pop()
+    assert leader is not None, "no coordinator elected"
+    live_ids = {peer.peer_id for peer, _coordinator in survivors}
+    assert leader in live_ids, "coordinator is a dead peer"
+    # The believed leader itself claims the role.
+    for peer, coordinator in survivors:
+        if peer.peer_id == leader:
+            assert coordinator.is_coordinator

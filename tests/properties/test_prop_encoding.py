@@ -1,0 +1,88 @@
+"""Property-based tests: SOAP value encoding and envelopes."""
+
+import xml.etree.ElementTree as ET
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.soap import Envelope, element_to_value, value_to_element
+
+# XML 1.0 cannot transport control characters, surrogates, or U+FFFE/FFFF;
+# the encoder rejects them (see test_control_characters_rejected), so the
+# round-trip strategies generate only transportable text.
+xml_characters = st.characters(
+    blacklist_categories=("Cs", "Cc"),
+    blacklist_characters="￾￿",
+)
+xml_text = st.text(alphabet=xml_characters, max_size=40)
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False),
+    xml_text,
+)
+values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(
+            st.text(alphabet=xml_characters, min_size=1, max_size=10),
+            children,
+            max_size=4,
+        ),
+    ),
+    max_leaves=12,
+)
+
+
+@given(value=values)
+@settings(max_examples=150, deadline=None)
+def test_value_roundtrips_through_element(value):
+    assert element_to_value(value_to_element("v", value)) == value
+
+
+@given(value=values)
+@settings(max_examples=100, deadline=None)
+def test_value_roundtrips_through_serialised_xml(value):
+    xml = ET.tostring(value_to_element("v", value), encoding="unicode")
+    assert element_to_value(ET.fromstring(xml)) == value
+
+
+@given(
+    operation=st.text(
+        alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")),
+        min_size=1,
+        max_size=20,
+    ),
+    arguments=st.dictionaries(
+        st.text(alphabet=xml_characters, min_size=1, max_size=10),
+        scalars,
+        max_size=4,
+    ),
+)
+@settings(max_examples=80, deadline=None)
+def test_call_envelope_roundtrips(operation, arguments):
+    envelope = Envelope.call(operation, arguments)
+    parsed = Envelope.from_xml(envelope.to_xml())
+    assert parsed.kind == "call"
+    assert parsed.operation == operation
+    assert parsed.arguments == arguments
+
+
+@given(value=values)
+@settings(max_examples=80, deadline=None)
+def test_result_envelope_roundtrips(value):
+    parsed = Envelope.from_xml(Envelope.result("op", value).to_xml())
+    assert parsed.value == value
+
+
+def test_control_characters_rejected():
+    from repro.soap import EncodingError
+    import pytest
+
+    with pytest.raises(EncodingError):
+        value_to_element("v", "bad\x08string")
+    with pytest.raises(EncodingError):
+        value_to_element("v", {"bad\x00key": 1})

@@ -1,0 +1,152 @@
+"""Unit tests for the event primitives."""
+
+import pytest
+
+from repro.simnet import Environment
+from repro.simnet.events import AllOf, AnyOf, Event, SimulationError, Timeout
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestEventLifecycle:
+    def test_new_event_is_untriggered(self, env):
+        event = env.event()
+        assert not event.triggered
+        assert not event.processed
+
+    def test_value_unavailable_before_trigger(self, env):
+        event = env.event()
+        with pytest.raises(SimulationError):
+            _ = event.value
+        with pytest.raises(SimulationError):
+            _ = event.ok
+
+    def test_succeed_sets_value(self, env):
+        event = env.event()
+        event.succeed(42)
+        assert event.triggered
+        assert event.ok
+        assert event.value == 42
+
+    def test_fail_sets_exception(self, env):
+        event = env.event()
+        error = RuntimeError("boom")
+        event.fail(error)
+        assert event.triggered
+        assert not event.ok
+        assert event.value is error
+
+    def test_double_succeed_raises(self, env):
+        event = env.event()
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_succeed_after_fail_raises(self, env):
+        event = env.event()
+        event.fail(ValueError("x"))
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_fail_requires_exception(self, env):
+        event = env.event()
+        with pytest.raises(TypeError):
+            event.fail("not an exception")
+
+    def test_callbacks_run_on_processing(self, env):
+        event = env.event()
+        seen = []
+        event.add_callback(lambda e: seen.append(e.value))
+        event.succeed("hello")
+        env.run()
+        assert seen == ["hello"]
+        assert event.processed
+
+    def test_add_callback_after_processing_raises(self, env):
+        event = env.event()
+        event.succeed()
+        env.run()
+        with pytest.raises(SimulationError):
+            event.add_callback(lambda e: None)
+
+
+class TestTimeout:
+    def test_fires_at_deadline(self, env):
+        timeout = env.timeout(5.0, value="done")
+        result = env.run(until=timeout)
+        assert result == "done"
+        assert env.now == 5.0
+
+    def test_negative_delay_rejected(self, env):
+        with pytest.raises(ValueError):
+            env.timeout(-1.0)
+
+    def test_zero_delay_fires_immediately(self, env):
+        timeout = env.timeout(0.0, value=1)
+        env.run(until=timeout)
+        assert env.now == 0.0
+
+    def test_timeouts_fire_in_order(self, env):
+        order = []
+        for delay in (3.0, 1.0, 2.0):
+            t = env.timeout(delay, value=delay)
+            t.add_callback(lambda e: order.append(e.value))
+        env.run()
+        assert order == [1.0, 2.0, 3.0]
+
+
+class TestConditions:
+    def test_anyof_fires_on_first(self, env):
+        fast = env.timeout(1.0, value="fast")
+        slow = env.timeout(5.0, value="slow")
+        any_of = AnyOf(env, [fast, slow])
+        result = env.run(until=any_of)
+        assert fast in result
+        assert slow not in result
+        assert env.now == 1.0
+
+    def test_allof_waits_for_all(self, env):
+        fast = env.timeout(1.0, value="fast")
+        slow = env.timeout(5.0, value="slow")
+        all_of = AllOf(env, [fast, slow])
+        result = env.run(until=all_of)
+        assert result[fast] == "fast"
+        assert result[slow] == "slow"
+        assert env.now == 5.0
+
+    def test_or_operator(self, env):
+        composite = env.timeout(1.0) | env.timeout(9.0)
+        env.run(until=composite)
+        assert env.now == 1.0
+
+    def test_and_operator(self, env):
+        composite = env.timeout(1.0) & env.timeout(2.0)
+        env.run(until=composite)
+        assert env.now == 2.0
+
+    def test_empty_condition_fires_immediately(self, env):
+        condition = AllOf(env, [])
+        assert condition.triggered
+
+    def test_condition_with_failed_event_fails(self, env):
+        event = env.event()
+        any_of = AnyOf(env, [event, env.timeout(10.0)])
+        event.fail(RuntimeError("inner"))
+        with pytest.raises(RuntimeError, match="inner"):
+            env.run(until=any_of)
+
+    def test_condition_over_already_processed_event(self, env):
+        done = env.timeout(1.0, value="x")
+        env.run(until=done)
+        any_of = AnyOf(env, [done, env.timeout(10.0)])
+        env.run(until=any_of)
+        # The processed event satisfies the condition without waiting.
+        assert env.now == 1.0
+
+    def test_mixing_environments_rejected(self, env):
+        other = Environment()
+        with pytest.raises(SimulationError):
+            AnyOf(env, [env.timeout(1), other.timeout(1)])

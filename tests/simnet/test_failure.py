@@ -1,0 +1,111 @@
+"""Unit tests for the failure injector."""
+
+import pytest
+
+from repro.simnet import FailureInjector
+
+
+@pytest.fixture
+def injector(network):
+    return FailureInjector(network)
+
+
+class TestCrashRestart:
+    def test_crash_at(self, env, network, injector):
+        host = network.add_host("h")
+        injector.crash_at(5.0, "h")
+        env.run(until=4.9)
+        assert host.up
+        env.run(until=5.1)
+        assert not host.up
+
+    def test_restart_at(self, env, network, injector):
+        host = network.add_host("h")
+        injector.crash_at(1.0, "h")
+        injector.restart_at(3.0, "h")
+        env.run(until=2.0)
+        assert not host.up
+        env.run(until=3.5)
+        assert host.up
+
+    def test_crash_for(self, env, network, injector):
+        host = network.add_host("h")
+        injector.crash_for(1.0, "h", downtime=2.0)
+        env.run(until=2.0)
+        assert not host.up
+        env.run(until=3.5)
+        assert host.up
+        assert host.crash_count == 1
+
+    def test_past_schedule_rejected(self, env, network, injector):
+        network.add_host("h")
+        env.timeout(10.0)
+        env.run(until=5.0)
+        with pytest.raises(ValueError):
+            injector.crash_at(1.0, "h")
+
+    def test_log_records_events(self, env, network, injector):
+        network.add_host("h")
+        injector.crash_for(1.0, "h", downtime=1.0)
+        env.run(until=5.0)
+        kinds = [event.kind for event in injector.log]
+        assert kinds == ["crash", "restart"]
+        assert injector.crash_times() == [(1.0, "h")]
+
+    def test_crash_already_down_host_not_logged_twice(self, env, network, injector):
+        network.add_host("h")
+        injector.crash_at(1.0, "h")
+        injector.crash_at(2.0, "h")
+        env.run(until=3.0)
+        assert len(injector.crash_times()) == 1
+
+
+class TestPartitions:
+    def test_partition_with_duration_heals(self, env, network, injector):
+        network.add_host("a")
+        network.add_host("b")
+        injector.partition_at(1.0, ["a"], ["b"], duration=2.0)
+        env.run(until=1.5)
+        assert network.partitioned("a", "b")
+        env.run(until=3.5)
+        assert not network.partitioned("a", "b")
+
+    def test_partition_without_duration_persists(self, env, network, injector):
+        network.add_host("a")
+        network.add_host("b")
+        injector.partition_at(1.0, ["a"], ["b"])
+        env.run(until=100.0)
+        assert network.partitioned("a", "b")
+
+
+class TestChurn:
+    def test_churn_generates_crashes_and_recoveries(self, env, network, injector):
+        for index in range(3):
+            network.add_host(f"h{index}")
+        injector.churn(["h0", "h1", "h2"], mtbf=5.0, mttr=1.0, until=60.0)
+        env.run(until=60.0)
+        crashes = [e for e in injector.log if e.kind == "crash"]
+        restarts = [e for e in injector.log if e.kind == "restart"]
+        assert len(crashes) > 5
+        # Every host that crashed eventually restarts within the window.
+        assert len(restarts) >= len(crashes) - 3
+
+    def test_churn_is_deterministic_per_seed(self, env):
+        from repro.simnet import Environment, Network, RngRegistry
+
+        def run_once():
+            env = Environment()
+            network = Network(env, rng=RngRegistry(99))
+            injector = FailureInjector(network)
+            network.add_host("h0")
+            injector.churn(["h0"], mtbf=3.0, mttr=0.5, until=30.0)
+            env.run(until=30.0)
+            return [(round(e.time, 9), e.kind) for e in injector.log]
+
+        assert run_once() == run_once()
+
+    def test_churn_never_schedules_past_until(self, env, network, injector):
+        network.add_host("h0")
+        injector.churn(["h0"], mtbf=1.0, mttr=0.5, until=20.0)
+        env.run()
+        assert all(event.time <= 20.0 + 1e-9 for event in injector.log)

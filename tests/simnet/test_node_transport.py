@@ -1,0 +1,105 @@
+"""Unit tests for hosts and the datagram transport."""
+
+import pytest
+
+from repro.simnet import Interrupt, PortInUseError
+
+
+class TestNode:
+    def test_spawn_process_dies_on_crash(self, env, network):
+        host = network.add_host("h")
+        log = []
+
+        def looper():
+            try:
+                while True:
+                    yield env.timeout(1.0)
+                    log.append(env.now)
+            except Interrupt as interrupt:
+                log.append(("killed", interrupt.cause))
+
+        host.spawn(looper())
+
+        def killer():
+            yield env.timeout(2.5)
+            host.crash()
+
+        env.process(killer())
+        env.run(until=10.0)
+        assert log == [1.0, 2.0, ("killed", "crash")]
+
+    def test_crash_is_idempotent(self, network):
+        host = network.add_host("h")
+        host.crash()
+        host.crash()
+        assert host.crash_count == 1
+
+    def test_restart_runs_hooks(self, network):
+        host = network.add_host("h")
+        events = []
+        host.on_crash(lambda node: events.append("crash"))
+        host.on_restart(lambda node: events.append("restart"))
+        host.crash()
+        host.restart()
+        assert events == ["crash", "restart"]
+
+    def test_restart_without_crash_is_noop(self, network):
+        host = network.add_host("h")
+        events = []
+        host.on_restart(lambda node: events.append("restart"))
+        host.restart()
+        assert events == []
+
+
+class TestTransport:
+    def test_bind_specific_port(self, network):
+        host = network.add_host("h")
+        socket = host.transport.bind(8080)
+        assert socket.address == ("h", 8080)
+
+    def test_bind_duplicate_port_rejected(self, network):
+        host = network.add_host("h")
+        host.transport.bind(8080)
+        with pytest.raises(PortInUseError):
+            host.transport.bind(8080)
+
+    def test_ephemeral_ports_are_distinct(self, network):
+        host = network.add_host("h")
+        first = host.transport.bind()
+        second = host.transport.bind()
+        assert first.port != second.port
+        assert first.port >= 49152
+
+    def test_rebind_after_close(self, network):
+        host = network.add_host("h")
+        socket = host.transport.bind(8080)
+        socket.close()
+        host.transport.bind(8080)  # must not raise
+
+    def test_send_message_requires_matching_src(self, env, network):
+        from repro.simnet import Message
+
+        a, b = network.add_host("a"), network.add_host("b")
+        socket = a.transport.bind(100)
+        bad = Message(src=("a", 999), dst=("b", 1), payload=None)
+        with pytest.raises(ValueError):
+            socket.send_message(bad)
+
+    def test_crash_flushes_queued_inbound(self, env, network):
+        a, b = network.add_host("a"), network.add_host("b")
+        sa = a.transport.bind()
+        sb = b.transport.bind(700)
+        sa.send(("b", 700), payload="x")
+        env.run()  # message sits in b's inbox, nobody reading
+        assert len(sb.inbox) == 1
+        b.crash()
+        assert len(sb.inbox) == 0
+
+    def test_closed_socket_drops_traffic(self, env, network):
+        a, b = network.add_host("a"), network.add_host("b")
+        sa = a.transport.bind()
+        sb = b.transport.bind(700)
+        sb.close()
+        sa.send(("b", 700), payload="x")
+        env.run()
+        assert network.trace.dropped_total == 1

@@ -1,0 +1,203 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.simnet import Environment, Interrupt, SimulationError
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestBasics:
+    def test_process_runs_to_completion(self, env):
+        log = []
+
+        def worker():
+            yield env.timeout(1.0)
+            log.append(env.now)
+            yield env.timeout(2.0)
+            log.append(env.now)
+
+        env.process(worker())
+        env.run()
+        assert log == [1.0, 3.0]
+
+    def test_process_return_value(self, env):
+        def worker():
+            yield env.timeout(1.0)
+            return "result"
+
+        assert env.run(until=env.process(worker())) == "result"
+
+    def test_yield_value_passes_through(self, env):
+        def worker():
+            got = yield env.timeout(1.0, value="payload")
+            return got
+
+        assert env.run(until=env.process(worker())) == "payload"
+
+    def test_non_generator_rejected(self, env):
+        with pytest.raises(TypeError):
+            env.process(lambda: None)
+
+    def test_yielding_non_event_raises(self, env):
+        def worker():
+            yield 42
+
+        process = env.process(worker())
+        with pytest.raises(SimulationError):
+            env.run(until=process)
+
+    def test_is_alive_transitions(self, env):
+        def worker():
+            yield env.timeout(1.0)
+
+        process = env.process(worker())
+        assert process.is_alive
+        env.run()
+        assert not process.is_alive
+
+
+class TestExceptions:
+    def test_uncaught_exception_propagates_to_run(self, env):
+        def worker():
+            yield env.timeout(1.0)
+            raise ValueError("inside")
+
+        with pytest.raises(ValueError, match="inside"):
+            env.run(until=env.process(worker()))
+
+    def test_failed_event_raises_inside_process(self, env):
+        event = env.event()
+        caught = []
+
+        def worker():
+            try:
+                yield event
+            except RuntimeError as error:
+                caught.append(str(error))
+
+        env.process(worker())
+        event.fail(RuntimeError("bad event"))
+        env.run()
+        assert caught == ["bad event"]
+
+    def test_waiting_on_failed_process_reraises(self, env):
+        def inner():
+            yield env.timeout(1.0)
+            raise KeyError("inner-bug")
+
+        def outer():
+            yield env.process(inner())
+
+        with pytest.raises(KeyError):
+            env.run(until=env.process(outer()))
+
+
+class TestProcessComposition:
+    def test_wait_for_other_process(self, env):
+        def inner():
+            yield env.timeout(2.0)
+            return "inner-done"
+
+        def outer():
+            result = yield env.process(inner())
+            return f"outer saw {result}"
+
+        assert env.run(until=env.process(outer())) == "outer saw inner-done"
+
+    def test_yield_from_subroutine(self, env):
+        def subroutine():
+            yield env.timeout(1.0)
+            return 10
+
+        def main():
+            a = yield from subroutine()
+            b = yield from subroutine()
+            return a + b
+
+        assert env.run(until=env.process(main())) == 20
+        assert env.now == 2.0
+
+
+class TestInterrupts:
+    def test_interrupt_delivers_cause(self, env):
+        caught = []
+
+        def sleeper():
+            try:
+                yield env.timeout(100.0)
+            except Interrupt as interrupt:
+                caught.append(interrupt.cause)
+
+        victim = env.process(sleeper())
+
+        def killer():
+            yield env.timeout(1.0)
+            victim.interrupt("die")
+
+        env.process(killer())
+        env.run()
+        assert caught == ["die"]
+
+    def test_interrupted_process_can_continue(self, env):
+        log = []
+
+        def sleeper():
+            try:
+                yield env.timeout(100.0)
+            except Interrupt:
+                log.append(("interrupted", env.now))
+            yield env.timeout(1.0)
+            log.append(("done", env.now))
+
+        victim = env.process(sleeper())
+
+        def killer():
+            yield env.timeout(2.0)
+            victim.interrupt()
+
+        env.process(killer())
+        env.run()
+        assert log == [("interrupted", 2.0), ("done", 3.0)]
+
+    def test_old_target_does_not_resume_interrupted_process(self, env):
+        resumes = []
+
+        def sleeper():
+            try:
+                yield env.timeout(5.0)
+                resumes.append("timeout")
+            except Interrupt:
+                resumes.append("interrupt")
+            yield env.timeout(100.0)
+
+        victim = env.process(sleeper())
+
+        def killer():
+            yield env.timeout(1.0)
+            victim.interrupt()
+
+        env.process(killer())
+        env.run(until=20.0)
+        # The original 5s timeout still fires but must not re-enter sleeper.
+        assert resumes == ["interrupt"]
+
+    def test_interrupt_dead_process_raises(self, env):
+        def quick():
+            yield env.timeout(1.0)
+
+        process = env.process(quick())
+        env.run()
+        with pytest.raises(SimulationError):
+            process.interrupt()
+
+    def test_self_interrupt_rejected(self, env):
+        def worker():
+            yield env.timeout(0.1)
+            env.active_process.interrupt()
+
+        with pytest.raises(SimulationError):
+            env.run(until=env.process(worker()))

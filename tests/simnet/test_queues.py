@@ -1,0 +1,135 @@
+"""Unit tests for Store and PriorityStore."""
+
+import pytest
+
+from repro.simnet import Environment, PriorityStore, Store
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestStore:
+    def test_put_then_get_fifo(self, env):
+        store = Store(env)
+        for item in (1, 2, 3):
+            store.put(item)
+        got = []
+
+        def consumer():
+            for _ in range(3):
+                got.append((yield store.get()))
+
+        env.run(until=env.process(consumer()))
+        assert got == [1, 2, 3]
+
+    def test_get_blocks_until_put(self, env):
+        store = Store(env)
+        got = []
+
+        def consumer():
+            got.append((yield store.get()))
+            got.append(env.now)
+
+        def producer():
+            yield env.timeout(3.0)
+            store.put("late")
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert got == ["late", 3.0]
+
+    def test_multiple_waiters_served_in_order(self, env):
+        store = Store(env)
+        got = []
+
+        def consumer(tag):
+            item = yield store.get()
+            got.append((tag, item))
+
+        env.process(consumer("first"))
+        env.process(consumer("second"))
+
+        def producer():
+            yield env.timeout(1.0)
+            store.put("a")
+            store.put("b")
+
+        env.process(producer())
+        env.run()
+        assert got == [("first", "a"), ("second", "b")]
+
+    def test_capacity_blocks_put(self, env):
+        store = Store(env, capacity=1)
+        log = []
+
+        def producer():
+            yield store.put("x")
+            log.append(("x-in", env.now))
+            yield store.put("y")
+            log.append(("y-in", env.now))
+
+        def consumer():
+            yield env.timeout(5.0)
+            item = yield store.get()
+            log.append((item, env.now))
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert ("x-in", 0.0) in log
+        assert ("y-in", 5.0) in log
+
+    def test_invalid_capacity_rejected(self, env):
+        with pytest.raises(ValueError):
+            Store(env, capacity=0)
+
+    def test_len_reports_queued_items(self, env):
+        store = Store(env)
+        assert len(store) == 0
+        store.put(1)
+        store.put(2)
+        env.run()
+        assert len(store) == 2
+
+
+class TestPriorityStore:
+    def test_smallest_first(self, env):
+        store = PriorityStore(env)
+        for item in (5, 1, 3):
+            store.put(item)
+        got = []
+
+        def consumer():
+            for _ in range(3):
+                got.append((yield store.get()))
+
+        env.run(until=env.process(consumer()))
+        assert got == [1, 3, 5]
+
+    def test_key_function(self, env):
+        store = PriorityStore(env, key=lambda item: item["priority"])
+        store.put({"priority": 2, "name": "b"})
+        store.put({"priority": 1, "name": "a"})
+        got = []
+
+        def consumer():
+            got.append((yield store.get()))
+
+        env.run(until=env.process(consumer()))
+        assert got[0]["name"] == "a"
+
+    def test_ties_are_fifo(self, env):
+        store = PriorityStore(env, key=lambda item: 0)
+        for name in ("first", "second", "third"):
+            store.put(name)
+        got = []
+
+        def consumer():
+            for _ in range(3):
+                got.append((yield store.get()))
+
+        env.run(until=env.process(consumer()))
+        assert got == ["first", "second", "third"]

@@ -1,0 +1,76 @@
+"""Tests for SOAP client-side retries (datagram-loss recovery)."""
+
+import pytest
+
+from repro.soap import RequestTimeout, SoapClient, SoapServer
+
+
+@pytest.fixture
+def deployment(env, network, two_hosts):
+    server_node, client_node = two_hosts
+    server = SoapServer(server_node, port=80)
+    calls = {"count": 0}
+
+    def dispatcher(operation, arguments, headers):
+        calls["count"] += 1
+        return calls["count"]
+
+    server.mount("/svc", dispatcher)
+    client = SoapClient(client_node, default_timeout=0.5)
+    return server, client, client_node, calls
+
+
+def _call(env, node, client, retries, timeout=0.5):
+    outcome = {}
+
+    def caller():
+        try:
+            outcome["value"] = yield from client.call(
+                ("a", 80), "/svc", "op", {}, timeout=timeout, retries=retries
+            )
+        except RequestTimeout as error:
+            outcome["error"] = error
+
+    env.run(until=node.spawn(caller()))
+    return outcome
+
+
+class TestRetries:
+    def test_retry_recovers_from_lost_request(self, env, network, deployment):
+        _server, client, client_node, calls = deployment
+        network.loss_rate = 1.0  # first attempt is lost
+
+        def heal():
+            # Heal just before the first 0.5s attempt times out, so the
+            # retry goes out over a healthy network.
+            yield env.timeout(0.45)
+            network.loss_rate = 0.0
+
+        client_node.spawn(heal())
+        outcome = _call(env, client_node, client, retries=2)
+        assert "value" in outcome
+        assert client.timeouts == 1  # one lost attempt, then success
+
+    def test_no_retries_by_default(self, env, network, deployment):
+        _server, client, client_node, _calls = deployment
+        network.loss_rate = 1.0
+        outcome = _call(env, client_node, client, retries=0)
+        assert isinstance(outcome["error"], RequestTimeout)
+        assert client.timeouts == 1
+
+    def test_retries_exhausted_raises(self, env, network, deployment):
+        _server, client, client_node, _calls = deployment
+        network.loss_rate = 1.0
+        outcome = _call(env, client_node, client, retries=3)
+        assert isinstance(outcome["error"], RequestTimeout)
+        assert client.timeouts == 4  # initial attempt + 3 retries
+
+    def test_retry_can_double_execute(self, env, network, deployment):
+        """Retries are at-least-once: if only the *response* is lost, the
+        server executes twice.  (Whisper's operations are reads, but the
+        semantics are worth pinning down.)"""
+        server, client, client_node, calls = deployment
+        outcome = _call(env, client_node, client, retries=1)
+        first_count = calls["count"]
+        assert first_count == 1
+        assert outcome["value"] == 1

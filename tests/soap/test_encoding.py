@@ -1,0 +1,71 @@
+"""Unit tests for the SOAP value encoding."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.soap import EncodingError, element_to_value, value_to_element
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            -17,
+            3.5,
+            "",
+            "héllo <world> & friends",
+            [],
+            [1, 2, 3],
+            {"a": 1, "b": "two"},
+            {"nested": {"list": [1, [2, {"deep": None}]]}},
+        ],
+    )
+    def test_value_roundtrips(self, value):
+        element = value_to_element("v", value)
+        assert element_to_value(element) == value
+
+    def test_roundtrip_through_serialised_xml(self):
+        value = {"id": "S1", "courses": ["M101", "E204"], "year": 3}
+        xml = ET.tostring(value_to_element("v", value), encoding="unicode")
+        assert element_to_value(ET.fromstring(xml)) == value
+
+    def test_types_distinguished(self):
+        assert element_to_value(value_to_element("v", 1)) == 1
+        assert element_to_value(value_to_element("v", "1")) == "1"
+        assert element_to_value(value_to_element("v", 1.0)) == 1.0
+        assert element_to_value(value_to_element("v", True)) is True
+
+    def test_tuple_decodes_as_list(self):
+        assert element_to_value(value_to_element("v", (1, 2))) == [1, 2]
+
+
+class TestErrors:
+    def test_unencodable_type_rejected(self):
+        with pytest.raises(EncodingError):
+            value_to_element("v", object())
+
+    def test_non_string_struct_keys_rejected(self):
+        with pytest.raises(EncodingError):
+            value_to_element("v", {1: "x"})
+
+    def test_unknown_encoded_type_rejected(self):
+        element = ET.Element("v", {"type": "quaternion"})
+        with pytest.raises(EncodingError):
+            element_to_value(element)
+
+    def test_struct_member_without_name_rejected(self):
+        element = ET.Element("v", {"type": "struct"})
+        ET.SubElement(element, "member", {"type": "int"}).text = "1"
+        with pytest.raises(EncodingError):
+            element_to_value(element)
+
+    def test_bad_int_payload_rejected(self):
+        element = ET.Element("v", {"type": "int"})
+        element.text = "notanint"
+        with pytest.raises(EncodingError):
+            element_to_value(element)

@@ -1,0 +1,79 @@
+"""Tests for WSDL service/port endpoints."""
+
+import pytest
+
+from repro.wsdl import (
+    ServicePort,
+    WsdlError,
+    definitions_from_xml,
+    definitions_to_xml,
+    student_management_wsdl,
+)
+
+
+class TestServicePort:
+    def test_address_parses_sim_location(self):
+        port = ServicePort("P", "I", "sim://web0:80/StudentManagement")
+        address, path = port.address()
+        assert address == ("web0", 80)
+        assert path == "/StudentManagement"
+
+    def test_non_sim_location_rejected(self):
+        with pytest.raises(WsdlError):
+            ServicePort("P", "I", "http://example.org/x").address()
+
+    def test_missing_port_rejected(self):
+        with pytest.raises(WsdlError):
+            ServicePort("P", "I", "sim://web0/x").address()
+
+    def test_add_port_validates_interface(self):
+        definitions = student_management_wsdl()
+        with pytest.raises(WsdlError, match="unknown interface"):
+            definitions.add_port(ServicePort("P", "Ghost", "sim://h:80/x"))
+
+    def test_endpoint_requires_ports(self):
+        definitions = student_management_wsdl()
+        with pytest.raises(WsdlError, match="no service ports"):
+            definitions.endpoint()
+
+    def test_ports_roundtrip_xml(self):
+        definitions = student_management_wsdl()
+        definitions.add_port(
+            ServicePort(
+                "StudentPort", "StudentManagementUMA",
+                "sim://web0:80/StudentManagement",
+            )
+        )
+        parsed = definitions_from_xml(definitions_to_xml(definitions))
+        assert len(parsed.ports) == 1
+        assert parsed.endpoint() == (("web0", 80), "/StudentManagement")
+
+
+class TestBootstrapFromWsdl:
+    def test_client_invokes_from_served_description(self):
+        """The full SOA bootstrap: fetch ?wsdl, read the endpoint from the
+        service/port element, invoke the advertised operation."""
+        from repro.core import WhisperSystem
+        from repro.soap import HttpRequest, SoapClient, http_request
+
+        system = WhisperSystem(seed=121)
+        service = system.deploy_student_service(replicas=2)
+        system.settle(6.0)
+        node = system.network.add_host("bootstrap-client")
+        outcome = {}
+
+        def bootstrap():
+            response = yield from http_request(
+                node, service.address,
+                HttpRequest("GET", f"{service.path}?wsdl"), timeout=2.0,
+            )
+            definitions = definitions_from_xml(response.body)
+            address, path = definitions.endpoint()
+            operation = definitions.operations()[0].name
+            client = SoapClient(node)
+            outcome["value"] = yield from client.call(
+                address, path, operation, {"ID": "S00001"}, timeout=30.0
+            )
+
+        system.env.run(until=node.spawn(bootstrap()))
+        assert outcome["value"]["studentId"] == "S00001"
