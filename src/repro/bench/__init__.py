@@ -7,7 +7,7 @@ listed in DESIGN.md.
 """
 
 from .harness import Sweep, SweepPoint, run_sweep
-from .report import ascii_plot, format_sweep, format_table
+from .report import ascii_plot, format_phase_breakdown, format_sweep, format_table
 from .stats import LinearFit, Summary, linear_fit, percentile, summarize
 from .workload import ClosedLoopWorkload, PoissonWorkload, WorkloadResult
 
@@ -20,6 +20,7 @@ __all__ = [
     "SweepPoint",
     "WorkloadResult",
     "ascii_plot",
+    "format_phase_breakdown",
     "format_sweep",
     "format_table",
     "linear_fit",

@@ -8,6 +8,7 @@ measurement callable against it, and collects one row.  Rows print through
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
@@ -64,6 +65,23 @@ class Sweep:
         for point in self.points:
             lines.append(",".join(cell(v) for v in point.row(columns)))
         return "\n".join(lines) + "\n"
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """The sweep as JSON, for machine-readable benchmark exports.
+
+        Non-JSON-native measurement values (e.g. nested phase summaries
+        are fine; arbitrary objects fall back to ``str``) never make the
+        export raise.
+        """
+        payload = {
+            "name": self.name,
+            "parameter": self.parameter_name,
+            "points": [
+                {"parameter": point.parameter, **point.measurements}
+                for point in self.points
+            ],
+        }
+        return json.dumps(payload, indent=indent, default=str)
 
 
 #: Measure signature: ``measure(parameter) -> {column: value}``.

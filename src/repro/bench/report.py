@@ -8,11 +8,11 @@ is visible in the terminal.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from .harness import Sweep
 
-__all__ = ["format_table", "format_sweep", "ascii_plot"]
+__all__ = ["format_table", "format_sweep", "format_phase_breakdown", "ascii_plot"]
 
 
 def _format_cell(value: Any) -> str:
@@ -57,6 +57,34 @@ def format_sweep(sweep: Sweep, title: Optional[str] = None) -> str:
     headers = [sweep.parameter_name] + columns
     rows = [point.row(columns) for point in sweep.points]
     return format_table(headers, rows, title=title or sweep.name)
+
+
+def format_phase_breakdown(
+    phase_summary: Dict[str, Dict[str, Any]], title: Optional[str] = None
+) -> str:
+    """Render a per-phase latency breakdown table (milliseconds).
+
+    ``phase_summary`` is the mapping produced by
+    :meth:`repro.obs.Observability.phase_summary` (also surfaced as the
+    ``"phases"`` key of ``WhisperSystem.status_report()``): one row per
+    request phase — discover / bind / invoke / recover / elect / execute —
+    so a report can say *which* phase dominates the tail instead of
+    printing a single end-to-end number.
+    """
+
+    def ms(value: Optional[float]) -> Any:
+        return "-" if value is None else value * 1000.0
+
+    rows = [
+        [phase, stats["count"], ms(stats["mean"]), ms(stats["p50"]),
+         ms(stats["p95"]), ms(stats["max"])]
+        for phase, stats in phase_summary.items()
+    ]
+    return format_table(
+        ["phase", "count", "mean (ms)", "p50 (ms)", "p95 (ms)", "max (ms)"],
+        rows,
+        title=title or "Per-phase latency breakdown",
+    )
 
 
 def ascii_plot(

@@ -6,20 +6,26 @@
     python -m repro rtt [--samples 400]
     python -m repro failover [--heartbeat 1.0]
     python -m repro availability [--replicas 4]
+    python -m repro trace [--samples 20] [--crash] [--last 5] [--json]
+    python -m repro metrics [--samples 50] [--crash] [--json | --csv]
     python -m repro demo
 
 Each subcommand prints the same tables the corresponding benchmark
-asserts on (see EXPERIMENTS.md).
+asserts on (see EXPERIMENTS.md).  ``trace`` and ``metrics`` drive a
+workload against the observability layer: ``trace`` prints per-request
+span trees, ``metrics`` the aggregated counters and per-phase latency
+histograms (both exportable as JSON/CSV for offline analysis).
 """
 
 from __future__ import annotations
 
 import argparse
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from .bench import (
     ClosedLoopWorkload,
     ascii_plot,
+    format_phase_breakdown,
     format_sweep,
     format_table,
     linear_fit,
@@ -156,6 +162,73 @@ def _cmd_availability(args: argparse.Namespace) -> int:
     return 0
 
 
+def _observed_run(
+    seed: int, samples: int, crash: bool = False, replicas: int = 4
+) -> Tuple[WhisperSystem, object]:
+    """Deploy the student service and drive ``samples`` requests through it.
+
+    With ``crash=True`` the group's coordinator is crashed shortly after
+    the workload starts, so the traces show the full failure story: a
+    timed-out ``invoke``, a ``recover`` span, re-``bind``, and retry.
+    """
+    system = WhisperSystem(seed=seed)
+    service = system.deploy_student_service(replicas=replicas)
+    system.settle(6.0)
+    node, soap = system.add_client("obs-client")
+    if crash:
+        victim = service.group.coordinator_peer()
+        system.failures.crash_at(system.env.now + 0.8, victim.node.name)
+
+    def loop():
+        for index in range(samples):
+            try:
+                yield from soap.call(
+                    service.address, service.path, "StudentInformation",
+                    {"ID": f"S{(index % 200) + 1:05d}"}, timeout=60.0,
+                )
+            except Exception:  # noqa: BLE001 - keep driving under failures
+                pass
+            yield system.env.timeout(0.1)
+
+    system.env.run(until=node.spawn(loop()))
+    return system, service
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    system, _service = _observed_run(args.seed, args.samples, crash=args.crash)
+    if args.json:
+        print(system.obs.traces_to_json(limit=args.last, indent=2))
+        return 0
+    for trace in system.obs.recent_traces(limit=args.last):
+        print(trace.format())
+        print()
+    print(format_phase_breakdown(
+        system.obs.phase_summary(),
+        title=f"Per-phase latency over {args.samples} requests"
+        + (" (coordinator crashed mid-run)" if args.crash else ""),
+    ))
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    system, _service = _observed_run(args.seed, args.samples, crash=args.crash)
+    if args.json:
+        print(system.obs.to_json(indent=2))
+        return 0
+    if args.csv:
+        print(system.obs.phases_to_csv(), end="")
+        return 0
+    counters = system.obs.metrics.counters
+    print(format_table(
+        ["counter", "value"],
+        [[name, counter.value] for name, counter in sorted(counters.items())],
+        title="Counters",
+    ))
+    print()
+    print(format_phase_breakdown(system.obs.phase_summary()))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -181,6 +254,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     availability.add_argument("--replicas", type=int, default=4)
     availability.set_defaults(func=_cmd_availability)
+
+    trace = subparsers.add_parser(
+        "trace", help="per-request phase span trees + phase breakdown"
+    )
+    trace.add_argument("--samples", type=int, default=20)
+    trace.add_argument("--crash", action="store_true",
+                       help="crash the coordinator mid-run (shows recovery)")
+    trace.add_argument("--last", type=int, default=5,
+                       help="how many recent traces to print")
+    trace.add_argument("--json", action="store_true",
+                       help="emit traces as JSON instead of trees")
+    trace.set_defaults(func=_cmd_trace)
+
+    metrics = subparsers.add_parser(
+        "metrics", help="aggregated counters + per-phase latency histograms"
+    )
+    metrics.add_argument("--samples", type=int, default=50)
+    metrics.add_argument("--crash", action="store_true",
+                         help="crash the coordinator mid-run (shows recovery)")
+    output = metrics.add_mutually_exclusive_group()
+    output.add_argument("--json", action="store_true",
+                        help="emit the full registry as JSON")
+    output.add_argument("--csv", action="store_true",
+                        help="emit the phase breakdown as CSV")
+    metrics.set_defaults(func=_cmd_metrics)
 
     return parser
 

@@ -293,14 +293,17 @@ class BPeer(Peer):
         return reply  # everyone's backend is down
 
     def _execute_local(self, request: ExecRequest):
+        obs = self.node.network.obs
         started = self.env.now
         yield self.env.timeout(self.implementation.service_time)
         try:
             value = self.implementation.invoke(request.arguments)
         except BackendUnavailable:
             self.qos_profile.record_failure()
+            obs.metrics.inc("bpeer.backend_unavailable")
             return ExecReply(request_id=request.request_id, kind="cannot-serve")
         except (RecordNotFound, ValueError) as error:
+            obs.metrics.inc("bpeer.faults")
             return ExecReply(
                 request_id=request.request_id,
                 kind="fault",
@@ -308,6 +311,7 @@ class BPeer(Peer):
                 value=str(error),
             )
         except Exception as error:  # implementation bug
+            obs.metrics.inc("bpeer.faults")
             return ExecReply(
                 request_id=request.request_id,
                 kind="fault",
@@ -316,6 +320,8 @@ class BPeer(Peer):
             )
         self.requests_executed += 1
         self.qos_profile.record_success(self.env.now - started)
+        obs.metrics.inc("bpeer.executed")
+        obs.observe_phase("execute", self.env.now - started)
         return ExecReply(
             request_id=request.request_id,
             kind="result",

@@ -59,7 +59,8 @@ class ProxyStats:
     rebinds: int = 0
     remote_discoveries: int = 0
     translation_failures: int = 0
-    #: (started_at, completed_at) of invocations that needed recovery.
+    #: Durations (seconds, start to completion) of invocations that
+    #: needed recovery — i.e. the proxy's observed failover times.
     failover_durations: List[float] = field(default_factory=list)
 
 
@@ -95,6 +96,9 @@ class SwsProxy(Peer):
         self.coordinator_timeout = coordinator_timeout
         self.qos_selector = qos_selector or QosSelector()
         self.stats = ProxyStats()
+        #: Network-wide observability (disabled on bare networks): every
+        #: invocation records a request trace with per-phase spans.
+        self.obs = node.network.obs
         self._request_ids = itertools.count(1)
         self._pending: Dict[int, Any] = {}
         self._bindings: Dict[PeerGroupId, _Binding] = {}
@@ -116,6 +120,7 @@ class SwsProxy(Peer):
         if matches:
             return matches
         self.stats.remote_discoveries += 1
+        self.obs.metrics.inc("proxy.remote_discoveries")
         # Fast path: query by the exact action concept (threshold=1 returns
         # as soon as the first response lands; the rendezvous answers with
         # every matching SRDI document in one message).
@@ -204,6 +209,7 @@ class SwsProxy(Peer):
         """Forget a (presumed stale) binding; next invoke re-binds."""
         if self._bindings.pop(group_id, None) is not None:
             self.stats.rebinds += 1
+            self.obs.metrics.inc("proxy.rebinds")
 
     # -- invocation ----------------------------------------------------------------------------
 
@@ -219,12 +225,37 @@ class SwsProxy(Peer):
         :class:`~repro.soap.fault.SoapFault` for application errors,
         :class:`NoMatchingGroupError` / :class:`InvocationFailedError` for
         system-level failures the retries could not mask.
+
+        With observability enabled, each invocation records a
+        :class:`~repro.obs.span.RequestTrace` with ``discover`` / ``bind``
+        / ``invoke`` / ``recover`` phase spans, feeding the per-phase
+        latency histograms that ``status_report()`` and the CLI expose.
         """
         self.stats.invocations += 1
+        rtrace = self.obs.request_trace(
+            f"{self.sws.name}.{operation}", self.stats.invocations, self.env.now
+        )
+        try:
+            value = yield from self._invoke(operation, arguments, timeout, rtrace)
+        except BaseException as error:
+            self.obs.finish_request(rtrace, self.env.now, status=type(error).__name__)
+            raise
+        self.obs.finish_request(rtrace, self.env.now, status="ok")
+        return value
+
+    def _invoke(
+        self,
+        operation: str,
+        arguments: Dict[str, Any],
+        timeout: Optional[float],
+        rtrace,
+    ) -> Generator:
         started_at = self.env.now
         per_request_timeout = timeout if timeout is not None else self.request_timeout
 
+        discover_span = rtrace.begin("discover", self.env.now)
         matches = yield from self.find_peer_group_adv(operation)
+        discover_span.finish(self.env.now, matches=len(matches))
         if not matches:
             raise NoMatchingGroupError(
                 f"no b-peer group matches {self.sws.name}.{operation}"
@@ -232,40 +263,67 @@ class SwsProxy(Peer):
         match = self._choose_group(matches)
         advertisement = match.advertisement
         group_id = advertisement.group_id
-        profile = self._profile_for(advertisement.key())
+        profile = self._profile_for(advertisement.key(), advertisement)
         recovered = False
+        # Opened on the first failure signal, closed when the request
+        # completes: the span's duration is the observed failover time.
+        recover_span = None
 
         for _attempt in range(self.max_attempts):
             binding = self._bindings.get(group_id)
             if binding is None:
+                bind_span = rtrace.begin("bind", self.env.now)
                 try:
                     binding = yield from self.resolve_coordinator(group_id)
                 except NoCoordinatorError:
+                    bind_span.finish(self.env.now, outcome="no-coordinator")
                     recovered = True
+                    if recover_span is None:
+                        recover_span = rtrace.begin("recover", self.env.now)
                     # Group may be mid-election: back off one beat and retry.
                     yield self.env.timeout(0.25)
                     continue
+                bind_span.finish(self.env.now, outcome="ok")
+            invoke_span = rtrace.begin("invoke", self.env.now)
             reply = yield from self._send_and_wait(
                 binding, operation, arguments, per_request_timeout
             )
             if reply is None:  # timeout — coordinator is likely dead
+                invoke_span.finish(self.env.now, outcome="timeout")
                 self.stats.timeouts += 1
+                self.obs.metrics.inc("proxy.timeouts")
                 profile.record_failure()
                 self.drop_binding(group_id)
                 recovered = True
+                if recover_span is None:
+                    recover_span = rtrace.begin("recover", self.env.now)
                 continue
             if reply.kind == "result":
+                invoke_span.finish(self.env.now, outcome="ok")
                 self.stats.successes += 1
+                self.obs.metrics.inc("proxy.successes")
+                self.obs.metrics.observe("proxy.rtt", self.env.now - started_at)
                 profile.record_success(self.env.now - started_at)
                 if recovered:
                     self.stats.failover_durations.append(self.env.now - started_at)
+                    self.obs.metrics.observe(
+                        "proxy.failover", self.env.now - started_at
+                    )
+                if recover_span is not None:
+                    recover_span.finish(self.env.now)
                 return self._translate(operation, reply.value)
             if reply.kind == "fault":
+                invoke_span.finish(self.env.now, outcome="fault")
                 self.stats.faults += 1
+                self.obs.metrics.inc("proxy.faults")
                 raise SoapFault(reply.fault_code or "Server", str(reply.value))
             if reply.kind == "not-coordinator":
+                invoke_span.finish(self.env.now, outcome="redirect")
                 self.stats.redirects += 1
+                self.obs.metrics.inc("proxy.redirects")
                 recovered = True
+                if recover_span is None:
+                    recover_span = rtrace.begin("recover", self.env.now)
                 if reply.coordinator is not None:
                     coordinator, address = reply.coordinator
                     self._bindings[group_id] = _Binding(group_id, coordinator, address)
@@ -278,7 +336,9 @@ class SwsProxy(Peer):
             if reply.kind == "cannot-serve":
                 # Every replica's backend is down: a genuine application
                 # outage that redundancy cannot mask.
+                invoke_span.finish(self.env.now, outcome="cannot-serve")
                 self.stats.faults += 1
+                self.obs.metrics.inc("proxy.faults")
                 profile.record_failure()
                 raise SoapFault.server(
                     f"all b-peers of {advertisement.name!r} cannot serve"

@@ -18,6 +18,7 @@ from ..backend.services import (
     student_lookup_warehouse,
 )
 from ..backend.warehouse import build_warehouse
+from ..obs import Observability
 from ..ontology.domains import b2b_ontology
 from ..ontology.match import ConceptMatcher, DegreeOfMatch
 from ..ontology.ontology import Ontology
@@ -53,7 +54,7 @@ class DeployedService:
     web_service: WhisperWebService
     proxy: SwsProxy
     group: BPeerGroup
-    groups: Dict[str, BPeerGroup] = None
+    groups: Optional[Dict[str, BPeerGroup]] = None
 
     def __post_init__(self):
         if self.groups is None:
@@ -85,10 +86,20 @@ class WhisperSystem:
         min_degree: DegreeOfMatch = DegreeOfMatch.EXACT,
         load_sharing: bool = False,
         record_trace_details: bool = False,
+        observability: bool = True,
     ):
         self.env = Environment()
         self.trace = MessageTrace(record_details=record_trace_details)
-        self.network = Network(self.env, trace=self.trace, rng=RngRegistry(seed))
+        #: Request-scoped tracing + metrics (§5's per-phase attribution).
+        #: Purely in-process: enabling it sends no extra messages, so the
+        #: Figure-4 counts are identical either way; disabling it turns
+        #: every instrumentation hook into a near-zero-cost no-op.
+        self.obs = Observability(enabled=observability)
+        if observability:
+            self.trace.metrics = self.obs.metrics
+        self.network = Network(
+            self.env, trace=self.trace, rng=RngRegistry(seed), obs=self.obs
+        )
         self.failures = FailureInjector(self.network)
         self.ontology = ontology if ontology is not None else b2b_ontology()
         self.reasoner = Reasoner(self.ontology)
@@ -235,9 +246,18 @@ class WhisperSystem:
         process = owner.spawn(generator)
         return self.env.run(until=process)
 
-    def reset_counters(self) -> None:
-        """Zero the message trace (e.g. after warm-up, before measuring)."""
+    def reset_counters(self, include_observability: bool = False) -> None:
+        """Zero the message trace (e.g. after warm-up, before measuring).
+
+        RTT stamps for requests still in flight survive the reset (see
+        :meth:`~repro.simnet.trace.MessageTrace.reset`).  Pass
+        ``include_observability=True`` to also drop accumulated request
+        traces and phase histograms, so a measurement window's phase
+        breakdown excludes warm-up traffic.
+        """
         self.trace.reset()
+        if include_observability:
+            self.obs.reset()
 
     # -- health reporting --------------------------------------------------------------
 
@@ -245,8 +265,10 @@ class WhisperSystem:
         """A structured health snapshot of the whole deployment.
 
         Covers what an operator would check: host liveness, per-service
-        group membership and coordination state, proxy statistics, and
-        headline network counters.
+        group membership and coordination state, proxy statistics,
+        headline network counters, and (with observability enabled) the
+        per-phase latency breakdown — discover / bind / invoke / recover /
+        elect / execute — that attributes slow requests to their cause.
         """
         hosts_up = sum(1 for node in self.network.hosts.values() if node.up)
         services = {}
@@ -287,4 +309,6 @@ class WhisperSystem:
             "hosts": {"total": len(self.network.hosts), "up": hosts_up},
             "network": self.trace.snapshot(),
             "services": services,
+            "observability": {"enabled": self.obs.enabled},
+            "phases": self.obs.phase_summary(),
         }

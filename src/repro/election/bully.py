@@ -21,7 +21,7 @@ case (highest surviving peer detects) — measured by Ablation C.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Set
 
 from ..simnet.events import AnyOf, Interrupt
 from ..p2p.endpoint import UnresolvablePeerError
@@ -67,8 +67,14 @@ class BullyElector:
         self.coordinator: Optional[PeerId] = None
         self.election_in_progress = False
         self.stats = ElectionStats()
+        #: Network-wide observability (disabled on bare networks): each
+        #: election records an ``elect`` phase duration.
+        self.obs = self.endpoint.node.network.obs
         self._answer_event = None
         self._coordinator_event = None
+        #: Peers that sent ANSWER during the current round — provably
+        #: alive, so a stalled election must never prune them.
+        self._answered: Set[PeerId] = set()
         self._listeners: List[Callable[[PeerId], None]] = []
         groups.register_group_listener(PROTOCOL, self._on_message)
         groups.on_membership_change(self._on_membership_change)
@@ -99,6 +105,7 @@ class BullyElector:
             return
         self.election_in_progress = True
         self.stats.elections_started += 1
+        self.obs.metrics.inc("election.started")
         self.endpoint.node.spawn(
             self._run_election(), name=f"bully:{self.endpoint.node.name}"
         )
@@ -106,6 +113,7 @@ class BullyElector:
     # -- the election round ------------------------------------------------------------
 
     def _run_election(self):
+        started_at = self.env.now
         try:
             while True:
                 higher = self._higher_members()
@@ -117,6 +125,7 @@ class BullyElector:
                 # we are still waiting for ANSWERs.
                 self._answer_event = self.env.event()
                 self._coordinator_event = self.env.event()
+                self._answered.clear()
                 for peer in sorted(higher, key=lambda pid: pid.uuid_hex):
                     self._send(peer, ELECTION)
                 timer = self.env.timeout(self.answer_timeout)
@@ -148,6 +157,8 @@ class BullyElector:
             self.election_in_progress = False
             self._answer_event = None
             self._coordinator_event = None
+            self._answered.clear()
+            self.obs.observe_phase("elect", self.env.now - started_at)
 
     def _higher_members(self) -> List[PeerId]:
         mine = self.my_id.uuid_hex
@@ -158,8 +169,17 @@ class BullyElector:
         ]
 
     def _prune_dead_candidates(self, higher: List[PeerId]) -> None:
-        """After a stalled election, assume the silent higher peers died."""
+        """After a stalled election, drop the higher peers that stayed silent.
+
+        A peer that sent ANSWER this round is provably alive — its
+        COORDINATOR broadcast is merely late (e.g. its own round is still
+        waiting out a timeout).  Pruning it would demote a live higher
+        peer and let a lower one win, violating the Bully invariant, so
+        only candidates that never answered are removed.
+        """
         for peer in higher:
+            if peer in self._answered:
+                continue
             self.groups.remove_member(self.group_id, peer)
 
     def _become_coordinator(self) -> None:
@@ -168,6 +188,7 @@ class BullyElector:
             return  # left the group mid-election
         self.coordinator = self.my_id
         self.stats.elections_won += 1
+        self.obs.metrics.inc("election.won")
         for member in view.sorted_members():
             if member != self.my_id:
                 self._send(member, COORDINATOR)
@@ -186,6 +207,7 @@ class BullyElector:
                 size_bytes=128,
             )
             self.stats.election_messages_sent += 1
+            self.obs.metrics.inc("election.messages_sent")
         except UnresolvablePeerError:
             pass
 
@@ -215,6 +237,7 @@ class BullyElector:
                 else:
                     self.start_election()
         elif kind == ANSWER:
+            self._answered.add(sender)
             if self._answer_event is not None and not self._answer_event.triggered:
                 self._answer_event.succeed(sender)
         elif kind == COORDINATOR:

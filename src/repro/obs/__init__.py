@@ -1,0 +1,38 @@
+"""Request-scoped observability: phase spans, latency histograms, export.
+
+The paper's evaluation (§5, Figure 4) is entirely observational —
+message counts, mean RTT, and worst cases attributed to specific request
+phases.  This package provides the machinery to make those attributions
+first-class: :class:`Span`/:class:`RequestTrace` record one request's
+phase timeline on the simulated clock, :class:`MetricsRegistry`
+aggregates counters and fixed-bucket latency histograms, and
+:class:`Observability` ties both together behind a single
+enabled/disabled switch (disabled = near-zero cost, nothing retained).
+"""
+
+from .metrics import DEFAULT_LATENCY_BUCKETS, Counter, Histogram, MetricsRegistry
+from .observability import Observability
+from .span import (
+    NULL_SPAN,
+    NULL_TRACE,
+    PHASES,
+    NullRequestTrace,
+    NullSpan,
+    RequestTrace,
+    Span,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "NULL_TRACE",
+    "NullRequestTrace",
+    "NullSpan",
+    "Observability",
+    "PHASES",
+    "RequestTrace",
+    "Span",
+]

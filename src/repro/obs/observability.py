@@ -1,0 +1,133 @@
+"""The observability facade: request traces + metrics behind one switch.
+
+One :class:`Observability` instance lives on the
+:class:`~repro.simnet.network.Network` (mirroring how
+:class:`~repro.simnet.trace.MessageTrace` is the network-wide message
+monitor), so every component — proxies, b-peers, electors — reaches it
+via ``node.network.obs`` without extra constructor plumbing.
+
+Disabled (the default for a bare :class:`Network`), every entry point is
+a near-zero-cost no-op and nothing is retained, so instrumented hot
+paths behave byte-identically to uninstrumented ones.  Enabled (the
+default for :class:`~repro.core.system.WhisperSystem`), it keeps a
+bounded ring of recent :class:`~repro.obs.span.RequestTrace` trees and
+aggregates every phase duration into per-phase latency histograms.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Union
+
+from .metrics import MetricsRegistry
+from .span import NULL_TRACE, PHASES, NullRequestTrace, RequestTrace
+
+__all__ = ["Observability"]
+
+
+class Observability:
+    """Request tracing and metrics for one simulated deployment."""
+
+    def __init__(self, enabled: bool = True, max_traces: int = 512):
+        self.enabled = enabled
+        self.metrics = MetricsRegistry(enabled=enabled)
+        #: Recent completed-or-in-flight request traces, oldest evicted.
+        self.traces: Deque[RequestTrace] = deque(maxlen=max_traces)
+
+    # -- request lifecycle ------------------------------------------------------
+
+    def request_trace(
+        self, operation: str, request_id: int, now: float
+    ) -> Union[RequestTrace, NullRequestTrace]:
+        """Open a trace for one proxy invocation (null object if disabled)."""
+        if not self.enabled:
+            return NULL_TRACE
+        trace = RequestTrace(operation, request_id, now)
+        self.traces.append(trace)
+        return trace
+
+    def finish_request(
+        self,
+        trace: Union[RequestTrace, NullRequestTrace],
+        now: float,
+        status: str = "ok",
+    ) -> None:
+        """Close ``trace`` and fold its phase durations into the metrics."""
+        if not self.enabled or trace is NULL_TRACE:
+            return
+        trace.finish(now, status=status)
+        self.metrics.inc("requests.total")
+        self.metrics.inc("requests.ok" if status == "ok" else "requests.failed")
+        duration = trace.duration
+        if duration is not None:
+            self.metrics.observe("request.duration", duration)
+        for phase, seconds in trace.phase_durations().items():
+            self.metrics.observe(f"phase.{phase}", seconds)
+
+    def observe_phase(self, phase: str, seconds: float) -> None:
+        """Record a phase duration outside any request trace (e.g. ``elect``)."""
+        if not self.enabled:
+            return
+        self.metrics.observe(f"phase.{phase}", seconds)
+
+    # -- aggregation -------------------------------------------------------------
+
+    def phase_summary(self) -> Dict[str, Dict[str, Any]]:
+        """Per-phase latency statistics, always covering every canonical phase.
+
+        Phases with no samples report ``count == 0`` (all other fields
+        ``None``) so reports and tests can rely on the keys being present.
+        """
+        empty = {
+            "count": 0, "mean": None, "p50": None, "p95": None,
+            "p99": None, "min": None, "max": None,
+        }
+        summary: Dict[str, Dict[str, Any]] = {}
+        for phase in PHASES:
+            histogram = self.metrics.histograms.get(f"phase.{phase}")
+            summary[phase] = histogram.snapshot() if histogram else dict(empty)
+        # Ad-hoc phases recorded beyond the canonical set still show up.
+        for name, histogram in sorted(self.metrics.histograms.items()):
+            phase = name[len("phase."):]
+            if name.startswith("phase.") and phase not in summary:
+                summary[phase] = histogram.snapshot()
+        return summary
+
+    # -- export -------------------------------------------------------------------
+
+    def recent_traces(self, limit: Optional[int] = None) -> List[RequestTrace]:
+        traces = list(self.traces)
+        if limit is not None:
+            traces = traces[-limit:]
+        return traces
+
+    def traces_to_json(
+        self, limit: Optional[int] = None, indent: Optional[int] = None
+    ) -> str:
+        payload = [trace.to_dict() for trace in self.recent_traces(limit)]
+        return json.dumps(payload, indent=indent)
+
+    def phases_to_csv(self) -> str:
+        """Phase breakdown as CSV, consumable by offline plotting."""
+        lines = ["phase,count,mean,p50,p95,p99,min,max"]
+        for phase, stats in self.phase_summary().items():
+            cells = [phase] + [
+                "" if stats[key] is None else repr(stats[key])
+                for key in ("count", "mean", "p50", "p95", "p99", "min", "max")
+            ]
+            lines.append(",".join(cells))
+        return "\n".join(lines) + "\n"
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Phases + full metrics registry as one JSON document."""
+        payload = {
+            "phases": self.phase_summary(),
+            "metrics": json.loads(self.metrics.to_json()),
+        }
+        return json.dumps(payload, indent=indent)
+
+    def reset(self) -> None:
+        """Drop all traces and metrics (e.g. after a warm-up phase)."""
+        self.traces.clear()
+        self.metrics.reset()

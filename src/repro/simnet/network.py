@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
+from ..obs import Observability
 from .environment import Environment
 from .latency import LatencyModel, lan_latency
 from .message import Message
@@ -49,9 +50,14 @@ class Network:
         rng: Optional[RngRegistry] = None,
         default_latency: Optional[LatencyModel] = None,
         default_bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
+        obs: Optional[Observability] = None,
     ):
         self.env = env
         self.trace = trace if trace is not None else MessageTrace()
+        #: Request-scoped observability; disabled unless a caller (e.g.
+        #: WhisperSystem) supplies an enabled instance, so bare networks
+        #: pay nothing for the instrumentation hooks.
+        self.obs = obs if obs is not None else Observability(enabled=False)
         self.rng = rng if rng is not None else RngRegistry(0)
         self.default_latency = default_latency or lan_latency()
         self.default_bandwidth_bps = default_bandwidth_bps

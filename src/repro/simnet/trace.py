@@ -17,7 +17,9 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
+
+from ..obs.metrics import MetricsRegistry
 
 __all__ = ["MessageTrace", "TraceRecord", "RttSample"]
 
@@ -62,6 +64,11 @@ class MessageTrace:
     records: List[TraceRecord] = field(default_factory=list)
     _pending_rtt: Dict[int, float] = field(default_factory=dict)
     rtt_samples: List[RttSample] = field(default_factory=list)
+    #: Optional :class:`~repro.obs.metrics.MetricsRegistry` mirror: when
+    #: set (WhisperSystem wires it with observability enabled), headline
+    #: message counters also land in the registry so one JSON export
+    #: covers network traffic alongside phase latencies.
+    metrics: Optional[MetricsRegistry] = field(default=None, repr=False)
 
     # -- network hooks ---------------------------------------------------------
 
@@ -70,6 +77,9 @@ class MessageTrace:
         self.bytes_total += message.size_bytes
         self.sent_by_category[message.category] += 1
         self.sent_by_host[message.src[0]] += 1
+        if self.metrics is not None:
+            self.metrics.inc("net.sent")
+            self.metrics.inc("net.bytes", message.size_bytes)
         if self.record_details:
             self.records.append(
                 TraceRecord(
@@ -85,6 +95,8 @@ class MessageTrace:
 
     def on_deliver(self, time: float, message) -> None:
         self.delivered_total += 1
+        if self.metrics is not None:
+            self.metrics.inc("net.delivered")
         if self.record_details:
             self.records.append(
                 TraceRecord(
@@ -100,6 +112,8 @@ class MessageTrace:
 
     def on_drop(self, time: float, message, reason: str = "") -> None:
         self.dropped_total += 1
+        if self.metrics is not None:
+            self.metrics.inc("net.dropped")
         if self.record_details:
             self.records.append(
                 TraceRecord(
@@ -124,6 +138,8 @@ class MessageTrace:
         start = self._pending_rtt.pop(correlation_id, None)
         if start is not None:
             self.rtt_samples.append(RttSample(correlation_id, start, time))
+            if self.metrics is not None:
+                self.metrics.observe("net.rtt", time - start)
 
     def rtts(self) -> List[float]:
         """All observed round-trip times, in seconds."""
@@ -167,7 +183,14 @@ class MessageTrace:
         return "\n".join(lines) + "\n"
 
     def reset(self) -> None:
-        """Zero every counter (e.g. after a warm-up phase)."""
+        """Zero completed counters and samples (e.g. after a warm-up phase).
+
+        Request stamps still awaiting their reply (``_pending_rtt``) are
+        deliberately *preserved*: a request in flight across the reset
+        boundary completes into a normal RTT sample instead of being
+        silently dropped.  Only fully observed data — counters, detail
+        records, and completed RTT samples — is cleared.
+        """
         self.sent_total = 0
         self.delivered_total = 0
         self.dropped_total = 0
@@ -175,5 +198,4 @@ class MessageTrace:
         self.sent_by_category.clear()
         self.sent_by_host.clear()
         self.records.clear()
-        self._pending_rtt.clear()
         self.rtt_samples.clear()

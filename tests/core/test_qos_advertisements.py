@@ -85,6 +85,48 @@ class TestProxyQosPrior:
         assert second is first
         assert second.observations == 1
 
+    def test_invoke_seeds_profile_on_single_match_path(self):
+        """Regression: with exactly one matching group, ``invoke`` used to
+        call ``_profile_for(key)`` without the advertisement, so the profile
+        was a blank default and the advertised QoS never seeded it.
+        ``_choose_group`` short-circuits for a single match, making this the
+        only seeding opportunity on that path."""
+        from repro.backend import student_database, student_lookup_operational
+        from repro.core import SemanticWebService, SwsProxy
+        from repro.core.bpeer_group import deploy_bpeer_group
+        from repro.wsdl import student_management_wsdl
+
+        system = WhisperSystem(seed=41)
+        sws = SemanticWebService(student_management_wsdl(), system.ontology)
+        annotation = sws.annotation("StudentInformation")
+        group = deploy_bpeer_group(
+            system.network, system.rendezvous, "grp-qos-solo", annotation,
+            [student_lookup_operational(student_database())],
+            ontology_uri=system.ontology.uri,
+            advertise_qos=QosMetrics(time=0.2, cost=3.0, reliability=0.9),
+        )
+        node = system.network.add_host("qos-solo-web")
+        proxy = SwsProxy(node, sws, system.matcher)
+        proxy.attach_to(system.rendezvous)
+        system.settle(6.0)
+
+        outcome = {}
+
+        def runner():
+            outcome["value"] = yield from proxy.invoke(
+                "StudentInformation", {"ID": "S00001"}
+            )
+
+        system.env.run(until=node.spawn(runner()))
+        assert "value" in outcome
+        profile = proxy._group_profiles[group.advertisement.key()]
+        # Seeded from the advertisement, not QosProfile() defaults
+        # (cost=1.0, initial_time=0.05).
+        assert profile.cost == 3.0
+        assert profile.initial_time == 0.2
+        assert profile.initial_reliability == 0.9
+        assert profile.observations == 1  # the successful invocation landed
+
     def test_proxy_prefers_group_with_better_advertised_qos(self):
         """Two semantically identical groups; only the advertised QoS
         differs.  The proxy's first choice should be the better one."""

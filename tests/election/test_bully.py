@@ -117,3 +117,58 @@ class TestElection:
         beliefs = {e.coordinator for e in electors} | {late_elector.coordinator}
         assert len(beliefs) == 1
         assert late_elector.coordinator is not None
+
+
+class TestPruneSparesAnswerers:
+    """Regression: a stalled election must not prune peers that ANSWERed.
+
+    A peer that sent ANSWER this round is provably alive — its
+    COORDINATOR broadcast is merely late.  The old code pruned *every*
+    higher member after a stall, demoting live higher peers and letting
+    a lower peer elect itself (a Bully invariant violation).
+    """
+
+    def test_prune_removes_only_silent_candidates(self, env, group):
+        _rendezvous, peers = group
+        low = min(peers, key=lambda peer: peer.peer_id.uuid_hex)
+        elector = BullyElector(low.groups, GROUP_ID)
+        higher = elector._higher_members()
+        assert len(higher) == 4
+        answerer = higher[0]
+        elector._answered.add(answerer)
+        elector._prune_dead_candidates(higher)
+        members = low.groups.members(GROUP_ID)
+        assert answerer in members  # alive: spared
+        for peer in higher[1:]:
+            assert peer not in members  # silent: pruned
+
+    def test_live_answerer_survives_stalled_election(self, env, group):
+        """End to end: every higher peer answers but their COORDINATOR
+        broadcasts are swallowed (e.g. still stuck in their own rounds).
+        The lowest initiator's election stalls repeatedly — it must keep
+        the live higher peers in its view and never usurp coordination."""
+        _rendezvous, peers = group
+        electors = _electors(peers)
+        ordered = sorted(range(5), key=lambda i: peers[i].peer_id.uuid_hex)
+        lowest = ordered[0]
+        low_elector = electors[lowest]
+        low_peer = peers[lowest]
+        # Swallow COORDINATOR announcements from every higher elector so
+        # answers arrive but no winner is ever heard.
+        for index in ordered[1:]:
+            elector = electors[index]
+
+            def muted(peer, kind, _orig=elector._send):
+                if kind == "coordinator":
+                    return
+                _orig(peer, kind)
+
+            elector._send = muted
+        higher_ids = {peers[i].peer_id for i in ordered[1:]}
+        low_elector.start_election()
+        # Long enough for several stall/retry rounds (answer 0.5s +
+        # coordinator wait 1.5s per round).
+        env.run(until=env.now + 7.0)
+        members = low_peer.groups.members(GROUP_ID)
+        assert higher_ids <= members  # no live peer was demoted
+        assert not low_elector.is_coordinator  # invariant held

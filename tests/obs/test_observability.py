@@ -1,0 +1,155 @@
+"""Integration tests: the observability layer threaded through the system."""
+
+import json
+
+import pytest
+
+from repro.core import WhisperSystem
+from repro.obs import NULL_TRACE, Observability
+
+
+def _run_requests(system, service, count, host="obs-client"):
+    node, soap = system.add_client(host)
+
+    def loop():
+        for index in range(count):
+            yield from soap.call(
+                service.address, service.path, "StudentInformation",
+                {"ID": f"S{(index % 200) + 1:05d}"}, timeout=60.0,
+            )
+            yield system.env.timeout(0.05)
+
+    system.env.run(until=node.spawn(loop()))
+
+
+class TestObservabilityFacade:
+    def test_disabled_returns_null_trace_and_retains_nothing(self):
+        obs = Observability(enabled=False)
+        trace = obs.request_trace("Svc.Op", 1, 0.0)
+        assert trace is NULL_TRACE
+        obs.finish_request(trace, 1.0)
+        obs.observe_phase("elect", 0.5)
+        assert len(obs.traces) == 0
+        assert obs.metrics.histograms == {}
+
+    def test_finish_request_feeds_phase_histograms(self):
+        obs = Observability()
+        trace = obs.request_trace("Svc.Op", 1, 0.0)
+        trace.begin("discover", 0.0).finish(0.1)
+        trace.begin("invoke", 0.1).finish(0.4)
+        obs.finish_request(trace, 0.4)
+        summary = obs.phase_summary()
+        assert summary["discover"]["count"] == 1
+        assert summary["invoke"]["count"] == 1
+        assert summary["invoke"]["max"] == pytest.approx(0.3)
+        assert obs.metrics.counters["requests.ok"].value == 1
+
+    def test_phase_summary_always_has_canonical_phases(self):
+        summary = Observability().phase_summary()
+        for phase in ("discover", "bind", "invoke", "recover", "elect", "execute"):
+            assert summary[phase]["count"] == 0
+
+    def test_trace_ring_is_bounded(self):
+        obs = Observability(max_traces=3)
+        for index in range(10):
+            obs.request_trace("Svc.Op", index, float(index))
+        assert len(obs.traces) == 3
+        assert obs.traces[0].request_id == 7
+
+    def test_exports_parse(self):
+        obs = Observability()
+        trace = obs.request_trace("Svc.Op", 1, 0.0)
+        trace.begin("invoke", 0.0).finish(0.2)
+        obs.finish_request(trace, 0.2)
+        assert json.loads(obs.traces_to_json())[0]["operation"] == "Svc.Op"
+        assert json.loads(obs.to_json())["phases"]["invoke"]["count"] == 1
+        assert obs.phases_to_csv().splitlines()[0].startswith("phase,count")
+
+
+class TestSystemIntegration:
+    def test_failure_free_requests_record_phase_spans(self):
+        system = WhisperSystem(seed=11)
+        service = system.deploy_student_service(replicas=3)
+        system.settle(6.0)
+        _run_requests(system, service, 4)
+        report = system.status_report()
+        phases = report["phases"]
+        assert report["observability"]["enabled"] is True
+        assert phases["discover"]["count"] == 4
+        assert phases["invoke"]["count"] == 4
+        assert phases["execute"]["count"] == 4
+        assert phases["bind"]["count"] == 1   # bound once, then cached
+        assert phases["recover"]["count"] == 0
+        assert phases["elect"]["count"] >= 1  # the bootstrap election
+        trace = system.obs.traces[-1]
+        assert trace.status == "ok"
+        assert [span.name for span in trace.spans()] == ["discover", "invoke"]
+
+    def test_coordinator_crash_shows_up_as_recover_phase(self):
+        system = WhisperSystem(seed=13)
+        service = system.deploy_student_service(replicas=3)
+        system.settle(6.0)
+        victim = service.group.coordinator_peer()
+        system.failures.crash_at(system.env.now + 0.3, victim.node.name)
+        node, soap = system.add_client("crash-client")
+
+        def loop():
+            for index in range(4):
+                yield from soap.call(
+                    service.address, service.path, "StudentInformation",
+                    {"ID": f"S{index + 1:05d}"}, timeout=120.0,
+                )
+                yield system.env.timeout(0.5)
+
+        system.env.run(until=node.spawn(loop()))
+        phases = system.status_report()["phases"]
+        assert phases["recover"]["count"] >= 1
+        # Recovery (detection + re-bind) dominates the failure story,
+        # exactly the paper's multi-second worst case.
+        assert phases["recover"]["max"] > phases["execute"]["max"]
+        recovered = [
+            trace for trace in system.obs.traces
+            if "recover" in trace.phase_durations()
+        ]
+        assert recovered
+        assert any(
+            span.name == "invoke" and span.tags.get("outcome") == "timeout"
+            for span in recovered[0].spans()
+        )
+
+    def test_message_trace_mirrors_into_metrics(self):
+        system = WhisperSystem(seed=17)
+        service = system.deploy_student_service(replicas=2)
+        system.settle(6.0)
+        _run_requests(system, service, 2)
+        counters = system.obs.metrics.counters
+        assert counters["net.sent"].value == system.trace.sent_total
+        assert counters["net.delivered"].value == system.trace.delivered_total
+
+    def test_disabled_observability_is_inert_and_equivalent(self):
+        reports = {}
+        for enabled in (True, False):
+            system = WhisperSystem(seed=23, observability=enabled)
+            service = system.deploy_student_service(replicas=3)
+            system.settle(6.0)
+            _run_requests(system, service, 3)
+            reports[enabled] = (system.trace.snapshot(), system)
+        disabled_system = reports[False][1]
+        assert len(disabled_system.obs.traces) == 0
+        assert disabled_system.obs.metrics.histograms == {}
+        phases = disabled_system.status_report()["phases"]
+        assert all(stats["count"] == 0 for stats in phases.values())
+        # Same seed, same workload: the message flow must be identical
+        # whether or not the instrumentation records it.
+        assert reports[True][0] == reports[False][0]
+
+    def test_reset_counters_can_include_observability(self):
+        system = WhisperSystem(seed=29)
+        service = system.deploy_student_service(replicas=2)
+        system.settle(6.0)
+        _run_requests(system, service, 2)
+        system.reset_counters()
+        assert len(system.obs.traces) > 0  # default: obs preserved
+        system.reset_counters(include_observability=True)
+        assert len(system.obs.traces) == 0
+        assert system.status_report()["phases"]["invoke"]["count"] == 0

@@ -31,14 +31,25 @@ class TestCounters:
         trace.on_send(0.0, _msg())
         assert trace.sent_by_host["a"] == 1
 
-    def test_reset_zeroes_everything(self):
+    def test_reset_zeroes_counters_and_completed_samples(self):
         trace = MessageTrace()
         trace.on_send(0.0, _msg())
         trace.stamp_request(1, 0.0)
+        trace.stamp_reply(1, 0.5)
         trace.reset()
         assert trace.snapshot() == {"sent": 0, "delivered": 0, "dropped": 0, "bytes": 0}
-        trace.stamp_reply(1, 1.0)
         assert trace.rtts() == []
+
+    def test_reset_preserves_inflight_rtt_stamps(self):
+        """A request in flight across a warm-up reset still yields its
+        RTT sample — reset() only clears *completed* observations."""
+        trace = MessageTrace()
+        trace.stamp_request(1, 10.0)
+        trace.reset()
+        trace.stamp_reply(1, 11.5)
+        assert trace.rtts() == [1.5]
+        samples = trace.rtt_samples
+        assert samples[0].request_at == 10.0 and samples[0].reply_at == 11.5
 
     def test_detailed_records_opt_in(self):
         detailed = MessageTrace(record_details=True)
