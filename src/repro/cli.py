@@ -6,6 +6,7 @@
     python -m repro rtt [--samples 400]
     python -m repro failover [--heartbeat 1.0]
     python -m repro availability [--replicas 4]
+    python -m repro campaign [--duration 90] [--replicas 4] [--mtbf 25]
     python -m repro trace [--samples 20] [--crash] [--last 5] [--json]
     python -m repro metrics [--samples 50] [--crash] [--json | --csv]
     python -m repro demo
@@ -162,6 +163,23 @@ def _cmd_availability(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from .core import FaultCampaign
+
+    campaign = FaultCampaign(
+        seed=args.seed,
+        duration=args.duration,
+        replicas=args.replicas,
+        mtbf=args.mtbf,
+        mttr=args.mttr,
+        partitions=args.partitions,
+        partition_duration=args.partition_duration,
+    )
+    report = campaign.run()
+    print(report.format())
+    return 0 if report.ok else 1
+
+
 def _observed_run(
     seed: int, samples: int, crash: bool = False, replicas: int = 4
 ) -> Tuple[WhisperSystem, object]:
@@ -254,6 +272,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     availability.add_argument("--replicas", type=int, default=4)
     availability.set_defaults(func=_cmd_availability)
+
+    campaign = subparsers.add_parser(
+        "campaign",
+        help="seeded fault campaign (churn + partitions) with invariant audit",
+    )
+    campaign.add_argument("--duration", type=float, default=90.0)
+    campaign.add_argument("--replicas", type=int, default=4)
+    campaign.add_argument("--mtbf", type=float, default=25.0)
+    campaign.add_argument("--mttr", type=float, default=10.0)
+    campaign.add_argument("--partitions", type=int, default=2)
+    campaign.add_argument("--partition-duration", type=float, default=6.0)
+    campaign.set_defaults(func=_cmd_campaign)
 
     trace = subparsers.add_parser(
         "trace", help="per-request phase span trees + phase breakdown"

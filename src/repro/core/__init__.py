@@ -9,6 +9,7 @@ clients → web server → service → proxy → P2P → b-peers → backends.
 from .baselines import FailoverSoapClient, ReplicatedPlainService
 from .bpeer import BPeer, ExecReply, ExecRequest
 from .bpeer_group import BPeerGroup, deploy_bpeer_group, semantic_advertisement_for
+from .campaign import CampaignReport, FaultCampaign
 from .errors import (
     AnnotationError,
     InvocationFailedError,
@@ -18,6 +19,7 @@ from .errors import (
 )
 from .matching import GroupMatch, SemanticGroupMatcher, SyntacticGroupMatcher
 from .proxy import ProxyStats, SwsProxy
+from .retry import Deadline, RetryPolicy
 from .sws import SemanticWebService
 from .system import DeployedService, WhisperSystem
 from .webservice import PlainWebService, WhisperWebService
@@ -26,7 +28,11 @@ __all__ = [
     "AnnotationError",
     "BPeer",
     "BPeerGroup",
+    "CampaignReport",
+    "Deadline",
     "DeployedService",
+    "FaultCampaign",
+    "RetryPolicy",
     "ExecReply",
     "ExecRequest",
     "FailoverSoapClient",

@@ -35,6 +35,7 @@ from ..simnet.message import Address
 from ..simnet.node import Node
 from ..simnet.queues import Store
 from ..election.coordinator import GroupCoordinator
+from ..election.epoch import Epoch
 
 __all__ = ["BPeer", "ExecRequest", "ExecReply"]
 
@@ -62,6 +63,13 @@ class ExecRequest:
     arguments: Dict[str, Any]
     reply_to: PeerId
     reply_addr: Address
+    #: Fencing token: the coordinator epoch the proxy's binding was made
+    #: under.  ``None`` (legacy callers) disables the staleness check.
+    epoch: Optional[Epoch] = None
+    #: The highest epoch the proxy has ever witnessed (bindings + delivered
+    #: results).  Gossiped into the group so epoch knowledge survives even
+    #: when every peer that minted/accepted it has crashed.
+    observed_epoch: Optional[Epoch] = None
 
 
 @dataclass
@@ -76,8 +84,12 @@ class ExecReply:
     kind: str
     value: Any = None
     fault_code: Optional[str] = None
-    coordinator: Optional[Tuple[PeerId, Optional[Address]]] = None
+    coordinator: Optional[Tuple] = None
     served_by: Optional[str] = None
+    #: Epoch under which this reply was produced (results) or the epoch of
+    #: the forward pointer (redirects); lets the proxy discard answers from
+    #: deposed coordinators.
+    epoch: Optional[Epoch] = None
 
 
 @dataclass
@@ -115,6 +127,9 @@ class BPeer(Peer):
         self.requests_executed = 0
         self.requests_delegated = 0
         self.requests_redirected = 0
+        #: Requests bounced because they carried an epoch below ours — the
+        #: sender was bound to a deposed coordinator (split-brain fencing).
+        self.stale_epoch_rejections = 0
         #: Online QoS profile of this replica's executions (§2.4): feeds
         #: operator reporting and can seed the group's QoS advertisement.
         self.qos_profile = QosProfile(initial_time=implementation.service_time)
@@ -212,25 +227,59 @@ class BPeer(Peer):
         if request.group_id != self.group_id or not self.node.up:
             return
         self.endpoint.add_route(request.reply_to, request.reply_addr)
+        if request.observed_epoch is not None:
+            # Client-carried fencing token: a coordinator whose term is
+            # below it re-elects (minting above it) instead of serving
+            # results the proxy would have to discard as stale.
+            self.coordinator_mgr.elector.observe_external_epoch(
+                request.observed_epoch
+            )
         if not self.is_coordinator:
             # §4.2: "the b-peer found may not be the coordinator. Therefore,
             # additional processing may need to be done to find the current
             # coordinator" — we hand the proxy a forward pointer.
             self.requests_redirected += 1
-            coordinator = self.coordinator
-            pointer = None
-            if coordinator is not None:
-                pointer = (coordinator, self.endpoint.route_for(coordinator))
             self._reply(
                 request,
                 ExecReply(
                     request_id=request.request_id,
                     kind="not-coordinator",
-                    coordinator=pointer,
+                    coordinator=self._coordinator_pointer(),
+                ),
+            )
+            return
+        current = self.coordinator_mgr.epoch
+        if request.epoch is not None and request.epoch < current:
+            # Fencing: the proxy is bound to a term this group has moved
+            # past (e.g. we crashed/partitioned and were re-elected under a
+            # fresh epoch).  Even though we ARE the coordinator, serving a
+            # stale-term request could mask an interleaved takeover — bounce
+            # it so the proxy re-binds under the current epoch.
+            self.stale_epoch_rejections += 1
+            self.requests_redirected += 1
+            self.node.network.obs.metrics.inc("bpeer.stale_epoch_rejections")
+            self._reply(
+                request,
+                ExecReply(
+                    request_id=request.request_id,
+                    kind="not-coordinator",
+                    value="stale-epoch",
+                    coordinator=self._coordinator_pointer(),
                 ),
             )
             return
         self._queue.put(("exec", request))
+
+    def _coordinator_pointer(self) -> Optional[Tuple]:
+        """Forward pointer ``(peer, address, epoch)`` for redirects."""
+        coordinator = self.coordinator
+        if coordinator is None:
+            return None
+        if coordinator == self.peer_id:
+            address: Optional[Address] = self.endpoint.address
+        else:
+            address = self.endpoint.route_for(coordinator)
+        return (coordinator, address, self.coordinator_mgr.epoch)
 
     # -- the worker (one request at a time, like a single-threaded JVM peer) -------------
 
@@ -404,18 +453,19 @@ class BPeer(Peer):
         group_id = query.payload
         if group_id != self.group_id or not self.node.up:
             return None
-        coordinator = self.coordinator
-        if coordinator is None:
+        if self.coordinator is None:
             return None
-        if coordinator == self.peer_id:
-            address: Optional[Address] = self.endpoint.address
-        else:
-            address = self.endpoint.route_for(coordinator)
-        return (coordinator, address)
+        # ``(peer, address, epoch)`` — the epoch lets a proxy facing
+        # conflicting answers (split-brain) prefer the freshest claim.
+        return self._coordinator_pointer()
 
     # -- plumbing ----------------------------------------------------------------------------
 
     def _reply(self, request: ExecRequest, reply: ExecReply) -> None:
+        if reply.epoch is None and reply.kind in ("result", "fault"):
+            # Stamp the term the work was done under so the proxy can
+            # discard results that raced with a takeover.
+            reply.epoch = self.coordinator_mgr.epoch
         try:
             self.endpoint.send(
                 request.reply_to,

@@ -1,0 +1,289 @@
+"""Seeded fault campaigns: randomized failures + invariant auditing.
+
+The benchmarks crash *specific* hosts at *chosen* instants; a campaign
+instead drives the deployment through a seeded random schedule of churn
+and partitions while an open-loop client keeps probing, then audits the
+run against the recovery layer's safety invariants:
+
+* **alternation** — per host, injected crash/restart events strictly
+  alternate (the pre-fix churn scheduler could crash a host that was
+  already down);
+* **one coordinator per epoch** — every announced epoch is owned by its
+  announcer, each peer's announced epochs are strictly increasing, and no
+  full epoch is ever announced by two peers;
+* **no stale result** — the proxy never delivered a result under an epoch
+  lower than one it had already delivered (per group);
+* **convergence** — after the schedule drains and a cooldown settles, at
+  most one live peer believes it coordinates the group.
+
+Campaigns are deterministic per seed (all randomness flows from the
+network's :class:`~repro.simnet.rng.RngRegistry`), so a violating run is
+a reproducible regression test, not an anecdote.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..simnet.events import Interrupt
+from ..soap.client import SoapClient
+from ..soap.fault import SoapFault
+from ..soap.http import RequestTimeout
+from .system import WhisperSystem
+
+__all__ = ["FaultCampaign", "CampaignReport"]
+
+
+@dataclass
+class CampaignReport:
+    """What happened during one campaign, plus the invariant audit."""
+
+    seed: int
+    duration: float
+    probes_ok: int = 0
+    probes_failed: int = 0
+    crashes: int = 0
+    restarts: int = 0
+    partitions: int = 0
+    elections_won: int = 0
+    epochs_announced: int = 0
+    stale_epoch_rejections: int = 0
+    stale_epoch_redirects: int = 0
+    stale_results_discarded: int = 0
+    rebinds: int = 0
+    live_coordinators: int = 0
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def probes(self) -> int:
+        return self.probes_ok + self.probes_failed
+
+    @property
+    def availability(self) -> float:
+        return self.probes_ok / self.probes if self.probes else 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def format(self) -> str:
+        lines = [
+            f"fault campaign (seed={self.seed}, {self.duration:.0f}s)",
+            f"  probes        : {self.probes} ({self.probes_ok} ok, "
+            f"{self.probes_failed} failed)",
+            f"  availability  : {self.availability:.4f}",
+            f"  injected      : {self.crashes} crashes, {self.restarts} restarts, "
+            f"{self.partitions} partitions",
+            f"  elections won : {self.elections_won} "
+            f"({self.epochs_announced} epochs announced)",
+            f"  fencing       : {self.stale_epoch_rejections} stale requests "
+            f"rejected, {self.stale_epoch_redirects} stale redirects, "
+            f"{self.stale_results_discarded} stale results discarded",
+            f"  proxy rebinds : {self.rebinds}",
+            f"  live coords   : {self.live_coordinators}",
+        ]
+        if self.violations:
+            lines.append(f"  INVARIANT VIOLATIONS ({len(self.violations)}):")
+            lines.extend(f"    - {violation}" for violation in self.violations)
+        else:
+            lines.append("  invariants    : all hold")
+        return "\n".join(lines)
+
+
+class FaultCampaign:
+    """One seeded campaign against a freshly built student-service system."""
+
+    def __init__(
+        self,
+        seed: int,
+        duration: float = 90.0,
+        replicas: int = 4,
+        mtbf: float = 25.0,
+        mttr: float = 10.0,
+        partitions: int = 2,
+        partition_duration: float = 6.0,
+        probe_period: float = 0.5,
+        probe_timeout: float = 2.0,
+        heartbeat_interval: float = 0.5,
+        miss_threshold: int = 2,
+    ):
+        self.seed = seed
+        self.duration = duration
+        self.replicas = replicas
+        self.mtbf = mtbf
+        self.mttr = mttr
+        self.partitions = partitions
+        self.partition_duration = partition_duration
+        self.probe_period = probe_period
+        self.probe_timeout = probe_timeout
+        self.system = WhisperSystem(
+            seed=seed,
+            heartbeat_interval=heartbeat_interval,
+            miss_threshold=miss_threshold,
+        )
+        self.service = self.system.deploy_student_service(replicas=replicas)
+
+    # -- the run ---------------------------------------------------------------------
+
+    def run(self) -> CampaignReport:
+        system = self.system
+        service = self.service
+        report = CampaignReport(seed=self.seed, duration=self.duration)
+        system.settle(6.0)
+        start = system.env.now
+        hosts = [peer.node.name for peer in service.group.peers]
+
+        system.failures.churn(
+            hosts, mtbf=self.mtbf, mttr=self.mttr, until=start + self.duration
+        )
+        report.partitions = self._schedule_partitions(hosts, start)
+        self._drive_probes(report)
+        # Cooldown: let pending restarts land, partitions heal, and the
+        # final election converge before auditing.
+        system.run_until(start + self.duration)
+        system.settle(10.0)
+
+        self._collect(report)
+        self._audit(report)
+        return report
+
+    def _schedule_partitions(self, hosts: List[str], start: float) -> int:
+        """Seeded, non-overlapping isolation windows.
+
+        Each window cuts one b-peer host off from *everything else*
+        (members, rendezvous, web host).  Isolating the current
+        coordinator forces detection + re-election; the heal then makes
+        the deposed coordinator re-announce its stale term — exactly the
+        split-brain scenario the epoch fencing exists for.
+        """
+        if self.partitions <= 0 or len(hosts) < 2:
+            return 0
+        rng = self.system.network.rng.stream("campaign")
+        everyone = list(self.system.network.hosts.keys())
+        usable = self.duration - 20.0
+        if usable <= 0:
+            return 0
+        slot = usable / self.partitions
+        scheduled = 0
+        for index in range(self.partitions):
+            window = min(self.partition_duration, max(1.0, slot - 2.0))
+            offset = rng.uniform(0.0, max(0.0, slot - window - 1.0))
+            at = start + 5.0 + index * slot + offset
+            victim = rng.choice(hosts)
+            others = [name for name in everyone if name != victim]
+            self.system.failures.partition_at(at, [victim], others, duration=window)
+            scheduled += 1
+        return scheduled
+
+    def _drive_probes(self, report: CampaignReport) -> None:
+        system = self.system
+        service = self.service
+        node = system.network.add_host("campaign-client")
+        soap = SoapClient(node, default_timeout=self.probe_timeout)
+
+        def one_probe(sequence: int):
+            try:
+                yield from soap.call(
+                    service.address,
+                    service.path,
+                    "StudentInformation",
+                    {"ID": f"S{sequence % 200 + 1:05d}"},
+                    timeout=self.probe_timeout,
+                )
+            except (SoapFault, RequestTimeout):
+                report.probes_failed += 1
+            except Interrupt:
+                return
+            else:
+                report.probes_ok += 1
+
+        def injector():
+            clock = 0.0
+            sequence = 0
+            while clock < self.duration:
+                node.spawn(one_probe(sequence), name=f"campaign-probe-{sequence}")
+                sequence += 1
+                yield system.env.timeout(self.probe_period)
+                clock += self.probe_period
+
+        system.env.run(until=node.spawn(injector()))
+
+    # -- reporting + auditing -----------------------------------------------------------
+
+    def _collect(self, report: CampaignReport) -> None:
+        service = self.service
+        report.crashes = sum(
+            1 for event in self.system.failures.log if event.kind == "crash"
+        )
+        report.restarts = sum(
+            1 for event in self.system.failures.log if event.kind == "restart"
+        )
+        for peer in service.group.peers:
+            elector = peer.coordinator_mgr.elector
+            report.elections_won += elector.stats.elections_won
+            report.epochs_announced += len(elector.announced)
+            report.stale_epoch_rejections += peer.stale_epoch_rejections
+        stats = service.proxy.stats
+        report.stale_epoch_redirects = stats.stale_epoch_redirects
+        report.stale_results_discarded = stats.stale_results_discarded
+        report.rebinds = stats.rebinds
+        report.live_coordinators = sum(
+            1
+            for peer in service.group.peers
+            if peer.node.up and peer.coordinator_mgr.is_coordinator
+        )
+
+    def _audit(self, report: CampaignReport) -> None:
+        violations = report.violations
+        violations.extend(self.system.failures.alternation_violations())
+
+        # One coordinator per epoch: ownership, per-peer monotonicity, and
+        # global uniqueness of announced terms.
+        seen: Dict[Tuple[int, str], str] = {}
+        for peer in self.service.group.peers:
+            elector = peer.coordinator_mgr.elector
+            previous = None
+            for when, epoch in elector.announced:
+                if epoch.owner_hex != peer.peer_id.uuid_hex:
+                    violations.append(
+                        f"{peer.name}: announced {epoch} it does not own "
+                        f"(t={when:.3f})"
+                    )
+                if previous is not None and not previous < epoch:
+                    violations.append(
+                        f"{peer.name}: announced {epoch} after {previous} "
+                        f"(t={when:.3f}, not increasing)"
+                    )
+                previous = epoch
+                holder = seen.get(epoch.key())
+                if holder is not None and holder != peer.name:
+                    violations.append(
+                        f"epoch {epoch} announced by both {holder} and {peer.name}"
+                    )
+                seen[epoch.key()] = peer.name
+
+        # No stale result: delivered epochs are monotone per group.
+        high: Dict[object, object] = {}
+        for group_id, epoch in self.service.proxy.result_epoch_log:
+            last = high.get(group_id)
+            if last is not None and epoch < last:
+                violations.append(
+                    f"proxy delivered result under {epoch} after {last} "
+                    f"(group {group_id})"
+                )
+            if last is None or epoch > last:
+                high[group_id] = epoch
+
+        # Convergence: after cooldown, at most one live self-believed
+        # coordinator remains.
+        if report.live_coordinators > 1:
+            claimants = [
+                peer.name
+                for peer in self.service.group.peers
+                if peer.node.up and peer.coordinator_mgr.is_coordinator
+            ]
+            violations.append(
+                f"{report.live_coordinators} live peers claim coordination "
+                f"after cooldown: {claimants}"
+            )

@@ -25,9 +25,11 @@ handed back to the Web service.
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, Generator, List, Optional, Tuple
+from typing import Any, Deque, Dict, Generator, List, Optional, Tuple
 
+from ..election.epoch import GENESIS, Epoch
 from ..ontology.match import ConceptMatcher, DegreeOfMatch
 from ..p2p.advertisement import SemanticAdvertisement
 from ..p2p.endpoint import EndpointMessage, UnresolvablePeerError
@@ -42,6 +44,7 @@ from ..wsdl.schema import SchemaError
 from .bpeer import COORD_HANDLER, PROTO_EXEC, PROTO_EXEC_REPLY, ExecReply, ExecRequest
 from .errors import InvocationFailedError, NoCoordinatorError, NoMatchingGroupError
 from .matching import GroupMatch, SemanticGroupMatcher
+from .retry import Deadline, RetryPolicy
 from .sws import SemanticWebService
 
 __all__ = ["SwsProxy", "ProxyStats"]
@@ -59,6 +62,13 @@ class ProxyStats:
     rebinds: int = 0
     remote_discoveries: int = 0
     translation_failures: int = 0
+    #: Redirects caused by the binding's epoch being stale (split-brain
+    #: fencing), a subset of ``redirects``.
+    stale_epoch_redirects: int = 0
+    #: Result replies discarded because a newer epoch already delivered.
+    stale_results_discarded: int = 0
+    #: Invocations abandoned because the per-request deadline ran out.
+    deadline_exhausted: int = 0
     #: Durations (seconds, start to completion) of invocations that
     #: needed recovery — i.e. the proxy's observed failover times.
     failover_durations: List[float] = field(default_factory=list)
@@ -69,6 +79,10 @@ class _Binding:
     group_id: PeerGroupId
     coordinator: PeerId
     address: Optional[Address]
+    #: Coordinator epoch this binding was made under (``None`` when the
+    #: answering peer predates epochs); stamped onto every request so
+    #: b-peers can fence stale bindings.
+    epoch: Optional[Epoch] = None
 
 
 class SwsProxy(Peer):
@@ -85,6 +99,9 @@ class SwsProxy(Peer):
         discovery_timeout: float = 1.0,
         coordinator_timeout: float = 1.0,
         qos_selector: Optional[QosSelector] = None,
+        retry: Optional[RetryPolicy] = None,
+        deadline_budget: float = 60.0,
+        resolve_grace: float = 0.02,
         name: Optional[str] = None,
     ):
         super().__init__(node, name=name or f"proxy:{sws.name}")
@@ -95,24 +112,42 @@ class SwsProxy(Peer):
         self.discovery_timeout = discovery_timeout
         self.coordinator_timeout = coordinator_timeout
         self.qos_selector = qos_selector or QosSelector()
+        self.retry = retry or RetryPolicy()
+        #: Default per-request wall budget (simulated seconds); ``invoke``'s
+        #: ``budget`` argument overrides it per call.
+        self.deadline_budget = deadline_budget
+        #: After the first resolver answer, wait this long for racing
+        #: answers so a split-brain minority cannot win the bind simply by
+        #: replying first — the highest epoch wins instead.
+        self.resolve_grace = resolve_grace
         self.stats = ProxyStats()
         #: Network-wide observability (disabled on bare networks): every
         #: invocation records a request trace with per-phase spans.
         self.obs = node.network.obs
         self._request_ids = itertools.count(1)
+        self._retry_rng = node.network.rng.stream(f"proxy-retry:{self.name}")
         self._pending: Dict[int, Any] = {}
         self._bindings: Dict[PeerGroupId, _Binding] = {}
         self._group_profiles: Dict[str, QosProfile] = {}
+        #: Highest epoch whose result was delivered to the client, per
+        #: group — results below it are discarded (no-stale-result).
+        self._last_result_epoch: Dict[PeerGroupId, Epoch] = {}
+        #: Audit log of delivered ``(group_id, epoch)`` pairs, in delivery
+        #: order; the fault campaign checks it is monotone per group.
+        self.result_epoch_log: Deque[Tuple[PeerGroupId, Epoch]] = deque(maxlen=8192)
         self.endpoint.register_listener(PROTO_EXEC_REPLY, self._on_reply)
 
     # -- discovery (the paper's findPeerGroupAdv) ------------------------------------------
 
-    def find_peer_group_adv(self, operation: str) -> Generator:
+    def find_peer_group_adv(
+        self, operation: str, deadline: Optional[Deadline] = None
+    ) -> Generator:
         """Locate semantic advertisements matching ``operation``'s semantics.
 
         Mirrors §3.2: local advertisements are scanned first; only if none
         match is a remote discovery query issued.  Returns the list of
-        matches, best first (``yield from``).
+        matches, best first (``yield from``).  A ``deadline`` caps each
+        remote query's timeout at the request's remaining budget.
         """
         annotation = self.sws.annotation(operation)
         local = self.discovery.get_local_advertisements(SemanticAdvertisement)
@@ -121,6 +156,9 @@ class SwsProxy(Peer):
             return matches
         self.stats.remote_discoveries += 1
         self.obs.metrics.inc("proxy.remote_discoveries")
+        timeout = self.discovery_timeout
+        if deadline is not None:
+            timeout = deadline.clamp(self.env.now, timeout)
         # Fast path: query by the exact action concept (threshold=1 returns
         # as soon as the first response lands; the rendezvous answers with
         # every matching SRDI document in one message).
@@ -128,7 +166,7 @@ class SwsProxy(Peer):
             SemanticAdvertisement,
             attribute="Action",
             value=annotation.action,
-            timeout=self.discovery_timeout,
+            timeout=timeout,
             threshold=1,
         )
         matches = self.group_matcher.find_all(annotation, remote)
@@ -137,8 +175,10 @@ class SwsProxy(Peer):
         # Slow path: groups advertising an *equivalent or related* action
         # concept carry a different Action attribute; fetch everything and
         # let the semantic matcher decide.
+        if deadline is not None:
+            timeout = deadline.clamp(self.env.now, self.discovery_timeout)
         remote = yield from self.discovery.get_remote_advertisements(
-            SemanticAdvertisement, timeout=self.discovery_timeout
+            SemanticAdvertisement, timeout=timeout
         )
         return self.group_matcher.find_all(annotation, remote)
 
@@ -180,9 +220,16 @@ class SwsProxy(Peer):
 
     # -- binding ----------------------------------------------------------------------------
 
-    def resolve_coordinator(self, group_id: PeerGroupId) -> Generator:
-        """Ask the group who currently coordinates it (``yield from``)."""
-        answers: List[Tuple[PeerId, Optional[Address]]] = []
+    def resolve_coordinator(
+        self, group_id: PeerGroupId, deadline: Optional[Deadline] = None
+    ) -> Generator:
+        """Ask the group who currently coordinates it (``yield from``).
+
+        After the first answer lands, a short grace window collects any
+        racing answers; if they conflict (split-brain after a partition
+        heal), the highest-epoch claim wins the binding.
+        """
+        answers: List[Tuple] = []
         done = self.env.event()
 
         def on_response(response) -> None:
@@ -190,16 +237,58 @@ class SwsProxy(Peer):
             if not done.triggered:
                 done.succeed()
 
+        timeout = self.coordinator_timeout
+        if deadline is not None:
+            timeout = deadline.clamp(self.env.now, timeout)
         query_id = self.resolver.send_query(
             COORD_HANDLER, group_id, on_response=on_response, size_bytes=128
         )
-        timer = self.env.timeout(self.coordinator_timeout)
-        yield AnyOf(self.env, [done, timer])
+        timer = self.env.timeout(timeout)
+        outcome = yield AnyOf(self.env, [done, timer])
+        if done in outcome and self.resolve_grace > 0.0:
+            grace = self.resolve_grace
+            if deadline is not None:
+                grace = deadline.clamp(self.env.now, grace)
+            if grace > 0.0:
+                yield self.env.timeout(grace)
         self.resolver.cancel_query(query_id)
         if not answers:
             raise NoCoordinatorError(f"no coordinator response for {group_id}")
-        coordinator, address = answers[0]
-        binding = _Binding(group_id=group_id, coordinator=coordinator, address=address)
+        coordinator, address, epoch = max(
+            (self._normalize_pointer(answer) for answer in answers),
+            key=lambda item: item[2] if item[2] is not None else GENESIS,
+        )
+        return self._rebind(group_id, coordinator, address, epoch)
+
+    @staticmethod
+    def _normalize_pointer(pointer: Tuple) -> Tuple[PeerId, Optional[Address], Optional[Epoch]]:
+        """Accept legacy ``(peer, addr)`` and epoch-stamped 3-tuples."""
+        if len(pointer) >= 3:
+            return pointer[0], pointer[1], pointer[2]
+        return pointer[0], pointer[1], None
+
+    def _rebind(
+        self,
+        group_id: PeerGroupId,
+        coordinator: PeerId,
+        address: Optional[Address],
+        epoch: Optional[Epoch],
+    ) -> _Binding:
+        """The single path that installs a binding.
+
+        Replacing a live binding is a failover and counts as a rebind —
+        this is what the old redirect-with-pointer shortcut skipped,
+        undercounting ``ProxyStats.rebinds``.
+        """
+        previous = self._bindings.get(group_id)
+        if previous is not None and (
+            previous.coordinator != coordinator or previous.epoch != epoch
+        ):
+            self.stats.rebinds += 1
+            self.obs.metrics.inc("proxy.rebinds")
+        binding = _Binding(
+            group_id=group_id, coordinator=coordinator, address=address, epoch=epoch
+        )
         self._bindings[group_id] = binding
         if address is not None:
             self.endpoint.add_route(coordinator, address)
@@ -218,6 +307,7 @@ class SwsProxy(Peer):
         operation: str,
         arguments: Dict[str, Any],
         timeout: Optional[float] = None,
+        budget: Optional[float] = None,
     ) -> Generator:
         """Execute ``operation`` on the b-peer back-end (``yield from``).
 
@@ -225,6 +315,12 @@ class SwsProxy(Peer):
         :class:`~repro.soap.fault.SoapFault` for application errors,
         :class:`NoMatchingGroupError` / :class:`InvocationFailedError` for
         system-level failures the retries could not mask.
+
+        ``timeout`` caps one send-and-wait attempt; ``budget`` (defaulting
+        to ``deadline_budget``) caps the whole request including retries —
+        the resulting deadline is propagated into every discovery, bind and
+        invoke timeout, and retry backoff grows exponentially (seeded
+        jitter) under it.
 
         With observability enabled, each invocation records a
         :class:`~repro.obs.span.RequestTrace` with ``discover`` / ``bind``
@@ -236,7 +332,7 @@ class SwsProxy(Peer):
             f"{self.sws.name}.{operation}", self.stats.invocations, self.env.now
         )
         try:
-            value = yield from self._invoke(operation, arguments, timeout, rtrace)
+            value = yield from self._invoke(operation, arguments, timeout, budget, rtrace)
         except BaseException as error:
             self.obs.finish_request(rtrace, self.env.now, status=type(error).__name__)
             raise
@@ -248,13 +344,17 @@ class SwsProxy(Peer):
         operation: str,
         arguments: Dict[str, Any],
         timeout: Optional[float],
+        budget: Optional[float],
         rtrace,
     ) -> Generator:
         started_at = self.env.now
         per_request_timeout = timeout if timeout is not None else self.request_timeout
+        deadline = Deadline(
+            at=started_at + (budget if budget is not None else self.deadline_budget)
+        )
 
         discover_span = rtrace.begin("discover", self.env.now)
-        matches = yield from self.find_peer_group_adv(operation)
+        matches = yield from self.find_peer_group_adv(operation, deadline=deadline)
         discover_span.finish(self.env.now, matches=len(matches))
         if not matches:
             raise NoMatchingGroupError(
@@ -268,25 +368,70 @@ class SwsProxy(Peer):
         # Opened on the first failure signal, closed when the request
         # completes: the span's duration is the observed failover time.
         recover_span = None
+        recover_reason: Optional[str] = None
+        attempt = 0
+        #: Retries (failed tries) so far — drives the backoff exponent.
+        failures = 0
 
-        for _attempt in range(self.max_attempts):
+        def enter_recovery(reason: str) -> None:
+            nonlocal recovered, recover_span, recover_reason
+            recovered = True
+            if recover_span is None:
+                recover_span = rtrace.begin("recover", self.env.now)
+                recover_reason = reason
+
+        def backoff() -> Generator:
+            """Sleep the policy's (jittered, deadline-clamped) delay."""
+            delay = self.retry.delay(failures - 1, self._retry_rng)
+            delay = min(delay, deadline.remaining(self.env.now))
+            if delay > 0.0:
+                yield self.env.timeout(delay)
+
+        while True:
+            if attempt >= self.max_attempts:
+                profile.record_failure()
+                if recover_span is not None:
+                    recover_span.finish(
+                        self.env.now, reason=recover_reason, attempts=attempt
+                    )
+                raise InvocationFailedError(
+                    f"{self.sws.name}.{operation} failed after "
+                    f"{self.max_attempts} attempts"
+                )
+            if deadline.expired(self.env.now):
+                self.stats.deadline_exhausted += 1
+                self.obs.metrics.inc("proxy.deadline_exhausted")
+                profile.record_failure()
+                if recover_span is not None:
+                    recover_span.finish(
+                        self.env.now, reason=recover_reason, attempts=attempt
+                    )
+                raise InvocationFailedError(
+                    f"{self.sws.name}.{operation} deadline exhausted after "
+                    f"{self.env.now - started_at:.3f}s ({attempt} attempts)"
+                )
+            attempt += 1
             binding = self._bindings.get(group_id)
             if binding is None:
                 bind_span = rtrace.begin("bind", self.env.now)
                 try:
-                    binding = yield from self.resolve_coordinator(group_id)
+                    binding = yield from self.resolve_coordinator(
+                        group_id, deadline=deadline
+                    )
                 except NoCoordinatorError:
                     bind_span.finish(self.env.now, outcome="no-coordinator")
-                    recovered = True
-                    if recover_span is None:
-                        recover_span = rtrace.begin("recover", self.env.now)
-                    # Group may be mid-election: back off one beat and retry.
-                    yield self.env.timeout(0.25)
+                    failures += 1
+                    enter_recovery("no-coordinator")
+                    # Group may be mid-election: back off and retry.
+                    yield from backoff()
                     continue
                 bind_span.finish(self.env.now, outcome="ok")
             invoke_span = rtrace.begin("invoke", self.env.now)
             reply = yield from self._send_and_wait(
-                binding, operation, arguments, per_request_timeout
+                binding,
+                operation,
+                arguments,
+                deadline.clamp(self.env.now, per_request_timeout),
             )
             if reply is None:  # timeout — coordinator is likely dead
                 invoke_span.finish(self.env.now, outcome="timeout")
@@ -294,23 +439,37 @@ class SwsProxy(Peer):
                 self.obs.metrics.inc("proxy.timeouts")
                 profile.record_failure()
                 self.drop_binding(group_id)
-                recovered = True
-                if recover_span is None:
-                    recover_span = rtrace.begin("recover", self.env.now)
+                failures += 1
+                enter_recovery("timeout")
                 continue
             if reply.kind == "result":
+                if self._result_is_stale(group_id, reply):
+                    # A deposed coordinator answered after a takeover
+                    # already delivered under a newer term: never hand the
+                    # stale value to the client.
+                    invoke_span.finish(self.env.now, outcome="stale-result")
+                    self.stats.stale_results_discarded += 1
+                    self.obs.metrics.inc("proxy.stale_results_discarded")
+                    self.drop_binding(group_id)
+                    failures += 1
+                    enter_recovery("stale-result")
+                    yield from backoff()
+                    continue
                 invoke_span.finish(self.env.now, outcome="ok")
                 self.stats.successes += 1
                 self.obs.metrics.inc("proxy.successes")
                 self.obs.metrics.observe("proxy.rtt", self.env.now - started_at)
                 profile.record_success(self.env.now - started_at)
+                self._record_result_epoch(group_id, reply.epoch)
                 if recovered:
                     self.stats.failover_durations.append(self.env.now - started_at)
                     self.obs.metrics.observe(
                         "proxy.failover", self.env.now - started_at
                     )
                 if recover_span is not None:
-                    recover_span.finish(self.env.now)
+                    recover_span.finish(
+                        self.env.now, reason=recover_reason, attempts=attempt
+                    )
                 return self._translate(operation, reply.value)
             if reply.kind == "fault":
                 invoke_span.finish(self.env.now, outcome="fault")
@@ -318,20 +477,27 @@ class SwsProxy(Peer):
                 self.obs.metrics.inc("proxy.faults")
                 raise SoapFault(reply.fault_code or "Server", str(reply.value))
             if reply.kind == "not-coordinator":
-                invoke_span.finish(self.env.now, outcome="redirect")
+                stale_epoch = reply.value == "stale-epoch"
+                invoke_span.finish(
+                    self.env.now,
+                    outcome="stale-epoch" if stale_epoch else "redirect",
+                )
                 self.stats.redirects += 1
                 self.obs.metrics.inc("proxy.redirects")
-                recovered = True
-                if recover_span is None:
-                    recover_span = rtrace.begin("recover", self.env.now)
+                if stale_epoch:
+                    self.stats.stale_epoch_redirects += 1
+                    self.obs.metrics.inc("proxy.stale_epoch_redirects")
+                failures += 1
+                enter_recovery("stale-epoch" if stale_epoch else "redirect")
                 if reply.coordinator is not None:
-                    coordinator, address = reply.coordinator
-                    self._bindings[group_id] = _Binding(group_id, coordinator, address)
-                    if address is not None:
-                        self.endpoint.add_route(coordinator, address)
+                    coordinator, address, epoch = self._normalize_pointer(
+                        reply.coordinator
+                    )
+                    self._rebind(group_id, coordinator, address, epoch)
+                    # Fresh forward pointer: retry immediately, no backoff.
                 else:
                     self.drop_binding(group_id)
-                    yield self.env.timeout(0.1)
+                    yield from backoff()
                 continue
             if reply.kind == "cannot-serve":
                 # Every replica's backend is down: a genuine application
@@ -343,10 +509,31 @@ class SwsProxy(Peer):
                 raise SoapFault.server(
                     f"all b-peers of {advertisement.name!r} cannot serve"
                 )
-        profile.record_failure()
-        raise InvocationFailedError(
-            f"{self.sws.name}.{operation} failed after {self.max_attempts} attempts"
-        )
+
+    def _highest_witnessed(self, binding: _Binding) -> Optional[Epoch]:
+        """The freshest term this proxy can vouch for, gossiped to b-peers."""
+        last = self._last_result_epoch.get(binding.group_id)
+        if binding.epoch is None:
+            return last
+        if last is None:
+            return binding.epoch
+        return max(binding.epoch, last)
+
+    def _result_is_stale(self, group_id: PeerGroupId, reply: ExecReply) -> bool:
+        if reply.epoch is None:
+            return False
+        last = self._last_result_epoch.get(group_id)
+        return last is not None and reply.epoch < last
+
+    def _record_result_epoch(
+        self, group_id: PeerGroupId, epoch: Optional[Epoch]
+    ) -> None:
+        if epoch is None:
+            return
+        last = self._last_result_epoch.get(group_id)
+        if last is None or epoch > last:
+            self._last_result_epoch[group_id] = epoch
+        self.result_epoch_log.append((group_id, epoch))
 
     def _send_and_wait(
         self,
@@ -362,6 +549,8 @@ class SwsProxy(Peer):
             arguments=arguments,
             reply_to=self.peer_id,
             reply_addr=self.endpoint.address,
+            epoch=binding.epoch,
+            observed_epoch=self._highest_witnessed(binding),
         )
         done = self.env.event()
         self._pending[request.request_id] = done

@@ -1,0 +1,58 @@
+"""Deadline-budgeted retry: backoff policy and per-request deadlines.
+
+The SWS-proxy's recovery loop (§4.2) used to sleep fixed ``0.25``/``0.1``
+amounts between attempts and give up after a flat attempt count — which
+couples total client-visible latency to the *number* of failures rather
+than the time budget the caller actually has.  This module replaces that
+with the standard shape: exponential backoff with multiplicative jitter
+(seeded, so simulation runs stay reproducible) under a per-request
+:class:`Deadline` that is also propagated into every discovery/bind/invoke
+timeout so no single phase can eat the whole budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy", "Deadline"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with seeded multiplicative jitter."""
+
+    base_delay: float = 0.1
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    #: Fraction of the raw delay to randomize over: the delay is scaled by
+    #: a factor drawn uniformly from ``[1 - jitter, 1 + jitter]``.
+    jitter: float = 0.5
+
+    def delay(self, attempt: int, rng) -> float:
+        """Backoff before retry number ``attempt`` (first retry is 0).
+
+        ``rng`` is a seeded ``random.Random``; passing the simulation's
+        registry stream keeps runs bit-for-bit reproducible.
+        """
+        raw = min(self.base_delay * (self.multiplier ** attempt), self.max_delay)
+        if self.jitter <= 0.0:
+            return raw
+        factor = 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return raw * factor
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """An absolute point in simulation time a request must finish by."""
+
+    at: float
+
+    def remaining(self, now: float) -> float:
+        return max(0.0, self.at - now)
+
+    def expired(self, now: float) -> bool:
+        return now >= self.at
+
+    def clamp(self, now: float, timeout: float) -> float:
+        """Cap a phase timeout so it cannot outlive the request budget."""
+        return min(timeout, self.remaining(now))

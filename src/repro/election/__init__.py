@@ -9,10 +9,13 @@ heartbeat failure detector that triggers it.  The end-to-end failover time
 from .bully import BullyElector, ElectionStats
 from .coordinator import GroupCoordinator
 from .detector import HeartbeatMonitor
+from .epoch import GENESIS, Epoch
 
 __all__ = [
     "BullyElector",
     "ElectionStats",
+    "Epoch",
+    "GENESIS",
     "GroupCoordinator",
     "HeartbeatMonitor",
 ]

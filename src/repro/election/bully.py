@@ -21,12 +21,13 @@ case (highest surviving peer detects) — measured by Ablation C.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Set
+from typing import Callable, List, Optional, Set, Tuple
 
 from ..simnet.events import AnyOf, Interrupt
 from ..p2p.endpoint import UnresolvablePeerError
 from ..p2p.ids import PeerGroupId, PeerId
 from ..p2p.peergroup import GroupService
+from .epoch import GENESIS, Epoch
 
 __all__ = ["BullyElector", "PROTOCOL", "ElectionStats"]
 
@@ -65,6 +66,18 @@ class BullyElector:
         self.coordinator_timeout = coordinator_timeout
 
         self.coordinator: Optional[PeerId] = None
+        #: Epoch of the currently accepted coordinator (GENESIS before any
+        #: election).  Serves as a fencing token: announcements and exec
+        #: requests stamped with a lower epoch are stale and rejected.
+        self.epoch: Epoch = GENESIS
+        #: Highest epoch ever observed on any message — the floor for the
+        #: epoch this peer would mint if it won an election.  Survives
+        #: crashes (the object persists), so a restarted ex-coordinator can
+        #: never re-announce an old term.
+        self.max_epoch_seen: Epoch = GENESIS
+        #: ``(sim_time, epoch)`` for every COORDINATOR announcement this
+        #: peer broadcast — audited by the fault campaign's invariants.
+        self.announced: List[Tuple[float, Epoch]] = []
         self.election_in_progress = False
         self.stats = ElectionStats()
         #: Network-wide observability (disabled on bare networks): each
@@ -187,22 +200,59 @@ class BullyElector:
         if view is None or self.my_id not in view.members:
             return  # left the group mid-election
         self.coordinator = self.my_id
+        # Mint a fresh term strictly above everything this peer has seen:
+        # even if a partitioned rival minted the same counter, the owner
+        # component keeps the full epochs distinct.
+        self.epoch = self.max_epoch_seen.next_for(self.my_id.uuid_hex)
+        self.max_epoch_seen = self.epoch
+        self.announced.append((self.env.now, self.epoch))
         self.stats.elections_won += 1
         self.obs.metrics.inc("election.won")
+        self.obs.metrics.inc("election.epochs_announced")
         for member in view.sorted_members():
             if member != self.my_id:
                 self._send(member, COORDINATOR)
         self._notify(self.my_id)
 
+    def _observe_epoch(self, epoch: Epoch) -> None:
+        if epoch > self.max_epoch_seen:
+            self.max_epoch_seen = epoch
+
+    def observe_external_epoch(self, epoch: Epoch) -> None:
+        """Fold in an epoch learned outside the election protocol.
+
+        Proxies stamp requests with the highest term they ever saw, so
+        epoch knowledge survives even when every peer that witnessed it
+        crashed: the sole survivor re-wins with a lower counter, learns
+        the higher term from the first client request, and re-mints above
+        it — without this, its results would be discarded as stale until
+        some witness restarts.
+        """
+        self._observe_epoch(epoch)
+        self._re_elect_if_stale_term()
+
+    def _re_elect_if_stale_term(self) -> None:
+        if self.is_coordinator and self.max_epoch_seen > self.epoch:
+            # Our own term went stale: somewhere a higher term was minted
+            # (we re-won without seeing it, or a partition healed).
+            # Serving under it would feed the proxy results it must
+            # discard — re-elect to mint a term above everything observed.
+            self.obs.metrics.inc("election.stale_terms_detected")
+            self.start_election()
+
     # -- messaging -----------------------------------------------------------------------
 
     def _send(self, peer: PeerId, kind: str) -> None:
+        # COORDINATOR carries the freshly minted term; ELECTION/ANSWER
+        # piggy-back the highest epoch seen so the eventual winner mints
+        # above BOTH sides of a healed partition.
+        epoch = self.epoch if kind == COORDINATOR else self.max_epoch_seen
         try:
             self.groups.send_to_member(
                 self.group_id,
                 peer,
                 PROTOCOL,
-                (kind, self.my_id),
+                (kind, self.my_id, epoch),
                 category="election",
                 size_bytes=128,
             )
@@ -216,14 +266,22 @@ class BullyElector:
             return
         if not self.groups.is_member(self.group_id):
             return  # stale traffic after leaving the group
-        kind, sender = payload
+        # Legacy 2-tuple payloads (no epoch) keep working: epoch-less
+        # announcements skip the staleness check and follow pre-epoch rules.
+        kind, sender = payload[0], payload[1]
+        epoch: Optional[Epoch] = payload[2] if len(payload) > 2 else None
+        if epoch is not None:
+            self._observe_epoch(epoch)
         if kind == ELECTION:
             # A lower peer is electing: suppress it and take over.
             if sender.uuid_hex < self.my_id.uuid_hex:
                 self._send(sender, ANSWER)
-                if self.is_coordinator:
-                    # Already coordinating: a direct re-announcement settles
-                    # the initiator without a fresh broadcast storm.
+                if self.is_coordinator and self.epoch >= self.max_epoch_seen:
+                    # Already coordinating under the freshest term we know:
+                    # a direct re-announcement settles the initiator without
+                    # a fresh broadcast storm.  (A coordinator whose term
+                    # went stale must NOT re-announce it — the check at the
+                    # bottom re-elects instead.)
                     self._send(sender, COORDINATOR)
                 elif (
                     self.coordinator is not None
@@ -241,6 +299,14 @@ class BullyElector:
             if self._answer_event is not None and not self._answer_event.triggered:
                 self._answer_event.succeed(sender)
         elif kind == COORDINATOR:
+            if epoch is not None and epoch < self.epoch:
+                # Stale term: an ex-coordinator (typically a healed
+                # partition minority) is re-announcing an epoch this peer
+                # has already moved past.  Reject it and re-elect — the
+                # winner will mint above both terms, converging the views.
+                self.obs.metrics.inc("election.stale_announcements_rejected")
+                self.start_election()
+                return
             if sender.uuid_hex < self.my_id.uuid_hex:
                 # A lower peer claims coordination while we are alive: the
                 # Bully invariant is violated (crossed announcements from
@@ -249,12 +315,15 @@ class BullyElector:
                 self.start_election()
                 return
             self.coordinator = sender
+            if epoch is not None:
+                self.epoch = epoch
             if (
                 self._coordinator_event is not None
                 and not self._coordinator_event.triggered
             ):
                 self._coordinator_event.succeed(sender)
             self._notify(sender)
+        self._re_elect_if_stale_term()
 
     def _on_membership_change(
         self, group_id: PeerGroupId, peer_id: PeerId, change: str

@@ -66,6 +66,11 @@ class GroupCoordinator:
         return self.elector.coordinator
 
     @property
+    def epoch(self):
+        """Fencing epoch of the currently accepted coordinator."""
+        return self.elector.epoch
+
+    @property
     def is_coordinator(self) -> bool:
         return self.elector.is_coordinator
 

@@ -95,7 +95,6 @@ class HeartbeatMonitor:
         misses = 0
         try:
             while True:
-                yield self.env.timeout(self.interval)
                 target = self.target
                 if target is None or target == self.endpoint.peer_id:
                     return
@@ -113,9 +112,13 @@ class HeartbeatMonitor:
                     self.pings_sent += 1
                 except UnresolvablePeerError:
                     pass
-                # Give the pong one interval to arrive, then check it.
-                yield self.env.timeout(self.interval * 0.9)
+                # The pong gets one full interval to arrive; the next ping
+                # goes out right after the check, so each miss costs exactly
+                # ``interval`` and detection takes the documented
+                # ``interval * miss_threshold``.
+                yield self.env.timeout(self.interval)
                 if self.target is not target:
+                    self._outstanding.pop(sequence, None)
                     misses = 0
                     continue
                 if self._outstanding.pop(sequence, False):
@@ -127,6 +130,10 @@ class HeartbeatMonitor:
                         misses = 0
                         callback, failed = self._on_failure, target
                         self._process = None
+                        # Drop sequences still in flight so a pong from the
+                        # dead coordinator arriving late cannot be credited
+                        # to the next monitoring run.
+                        self._outstanding.clear()
                         if callback is not None:
                             callback(failed)
                         return

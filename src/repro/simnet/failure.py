@@ -77,15 +77,21 @@ class FailureInjector:
         mttr: float,
         until: float,
         stream: str = "churn",
-    ) -> None:
+    ) -> List[Tuple[float, float, str]]:
         """Exponential crash/restart churn over ``hosts`` until ``until``.
 
         ``mtbf`` is the mean time between failures of each host, ``mttr``
         the mean time to repair.  This drives the availability-vs-replication
         ablation (DESIGN.md, Ablation B).
+
+        Each host's timeline strictly alternates crash/restart: the next
+        time-between-failures is sampled from the *repair* time, never from
+        inside the outage (a host cannot crash while already down).
+        Returns the schedule as ``(crash_time, restart_time, host)`` tuples.
         """
         rng = self.network.rng.stream(stream)
         env = self.network.env
+        schedule: List[Tuple[float, float, str]] = []
         for host in hosts:
             clock = env.now
             while True:
@@ -94,6 +100,13 @@ class FailureInjector:
                     break
                 downtime = min(rng.expovariate(1.0 / mttr), until - clock)
                 self.crash_for(clock, host, downtime)
+                schedule.append((clock, clock + downtime, host))
+                # Resume the uptime clock at the *repair* instant — sampling
+                # the next crash from the crash time could schedule a crash
+                # while the host is still down, and the pending restart
+                # would then silently truncate the later outage.
+                clock += downtime
+        return schedule
 
     # -- internals -------------------------------------------------------------------
 
@@ -130,3 +143,22 @@ class FailureInjector:
             for event in self.log
             if event.kind == "crash" and (host is None or event.target == host)
         ]
+
+    def alternation_violations(self) -> List[str]:
+        """Audit the log: per host, crash/restart events must strictly
+        alternate starting with a crash (an invariant the fault campaign
+        checks — the pre-fix churn scheduler violated it by crashing hosts
+        that were still down)."""
+        violations: List[str] = []
+        expected: dict = {}
+        for event in self.log:
+            if event.kind not in ("crash", "restart"):
+                continue
+            want = expected.get(event.target, "crash")
+            if event.kind != want:
+                violations.append(
+                    f"{event.target}: {event.kind} at t={event.time:.3f} "
+                    f"(expected {want})"
+                )
+            expected[event.target] = "restart" if event.kind == "crash" else "crash"
+        return violations

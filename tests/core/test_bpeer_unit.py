@@ -179,8 +179,11 @@ class TestCoordinatorQuery:
         )
         system.settle(0.5)
         assert answers
-        coordinator_ids = {peer_id for peer_id, _addr in answers}
+        coordinator_ids = {peer_id for peer_id, _addr, _epoch in answers}
         assert coordinator_ids == {deployed.group.coordinator_id()}
+        epochs = {epoch for _peer_id, _addr, epoch in answers}
+        assert len(epochs) == 1  # every member answers with the same term
+        assert epochs.pop().counter >= 1
 
     def test_other_groups_do_not_answer(self, system, deployed):
         from repro.p2p import Peer, PeerGroupId

@@ -108,6 +108,40 @@ class TestBindingPath:
         assert outcome["value"]["studentId"] == "S00002"
         assert proxy.stats.redirects >= 1
 
+    def test_redirect_with_pointer_counts_rebind(self, system, deployed):
+        """Regression: following a redirect's forward pointer is a
+        failover and must count as a rebind.  The old code rewrote
+        ``_bindings[group_id]`` in place, so redirect-driven failovers
+        were invisible in ``ProxyStats.rebinds``."""
+        proxy = deployed.proxy
+        _invoke(system, proxy, "StudentInformation", {"ID": "S00001"})
+        coordinator_id = deployed.group.coordinator_id()
+        follower = next(
+            peer for peer in deployed.group.peers
+            if peer.peer_id != coordinator_id
+        )
+        from repro.core.proxy import _Binding
+
+        proxy._bindings[deployed.group.group_id] = _Binding(
+            deployed.group.group_id, follower.peer_id, follower.endpoint.address
+        )
+        proxy.endpoint.add_route(follower.peer_id, follower.endpoint.address)
+        rebinds = proxy.stats.rebinds
+        outcome = _invoke(system, proxy, "StudentInformation", {"ID": "S00002"})
+        assert outcome["value"]["studentId"] == "S00002"
+        assert proxy.stats.rebinds == rebinds + 1
+        binding = proxy._bindings[deployed.group.group_id]
+        assert binding.coordinator == coordinator_id
+        assert binding.epoch is not None
+
+    def test_successful_invoke_stamps_binding_epoch(self, system, deployed):
+        proxy = deployed.proxy
+        _invoke(system, proxy, "StudentInformation", {"ID": "S00001"})
+        binding = proxy._bindings[deployed.group.group_id]
+        coordinator = deployed.group.coordinator_peer()
+        assert binding.epoch == coordinator.coordinator_mgr.epoch
+        assert binding.epoch.counter >= 1
+
 
 class TestReplyHandling:
     def test_fault_reply_raises_soap_fault(self, system, deployed):

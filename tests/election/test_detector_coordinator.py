@@ -46,8 +46,43 @@ class TestHeartbeatMonitor:
         peers[1].node.crash()
         env.run(until=env.now + 20.0)
         detection_delay = detected_at[0] - crash_time
-        # ~ miss_threshold * (interval + 0.9 * interval), plus slack.
+        # ~ miss_threshold * interval, plus slack.
         assert 1.0 < detection_delay < 6.0
+
+    def test_detection_period_matches_documented_cycle(self, env, group):
+        """Regression: each missed heartbeat must cost one ``interval``,
+        so detection lands near ``interval * miss_threshold``.  The old
+        loop slept ``interval`` and then waited another ``0.9 * interval``
+        for the pong, making the real cycle ``1.9x`` the documented one
+        (2.85s instead of 1.5s here)."""
+        _rendezvous, peers = group
+        interval, threshold = 0.5, 3
+        monitors = _monitors(peers, interval=interval, miss_threshold=threshold)
+        detected_at = []
+        monitors[0].watch(peers[1].peer_id, lambda failed: detected_at.append(env.now))
+        env.run(until=env.now + 2.0)
+        crash_time = env.now
+        peers[1].node.crash()
+        env.run(until=env.now + 20.0)
+        detection_delay = detected_at[0] - crash_time
+        nominal = interval * threshold
+        # At most one extra interval of phase offset (the crash can land
+        # just after a ping was answered), never the 1.9x cycle.
+        assert nominal * 0.9 <= detection_delay <= nominal + interval + 0.1
+
+    def test_outstanding_cleared_after_failure_fires(self, env, group):
+        """Regression: sequences still in flight when the failure fires
+        must be dropped, so a late pong from the dead coordinator cannot
+        be credited to the next monitoring run."""
+        _rendezvous, peers = group
+        monitors = _monitors(peers, interval=0.5, miss_threshold=2)
+        failures = []
+        monitors[0].watch(peers[1].peer_id, lambda failed: failures.append(failed))
+        env.run(until=env.now + 2.0)
+        peers[1].node.crash()
+        env.run(until=env.now + 10.0)
+        assert failures == [peers[1].peer_id]
+        assert monitors[0]._outstanding == {}
 
     def test_watching_self_is_noop(self, env, group):
         _rendezvous, peers = group

@@ -109,3 +109,69 @@ class TestChurn:
         injector.churn(["h0"], mtbf=1.0, mttr=0.5, until=20.0)
         env.run()
         assert all(event.time <= 20.0 + 1e-9 for event in injector.log)
+
+    def test_churn_schedule_pairs_never_overlap(self, env, network, injector):
+        """Regression: the next crash must be sampled from the *repair*
+        time.  The old scheduler sampled it from the crash time, so with
+        MTTR >> MTBF a host was routinely re-crashed while still down and
+        an earlier pending restart truncated the later outage."""
+        network.add_host("h0")
+        schedule = injector.churn(["h0"], mtbf=2.0, mttr=10.0, until=200.0)
+        assert schedule  # harsh regime still produces outages
+        previous_restart = None
+        for crash, restart, host in schedule:
+            assert host == "h0"
+            assert crash < restart
+            if previous_restart is not None:
+                assert crash > previous_restart  # next outage starts after repair
+            previous_restart = restart
+
+    def test_churn_log_strictly_alternates_per_host(self, env, network, injector):
+        """Each host's injected events go crash, restart, crash, restart…
+        — the observable symptom of the old overlap bug was a crash
+        logged while the host was already down (or silently dropped)."""
+        for index in range(3):
+            network.add_host(f"h{index}")
+        injector.churn(["h0", "h1", "h2"], mtbf=2.0, mttr=6.0, until=120.0)
+        env.run()
+        assert injector.alternation_violations() == []
+        for host in ("h0", "h1", "h2"):
+            kinds = [
+                e.kind for e in injector.log
+                if e.target == host and e.kind in ("crash", "restart")
+            ]
+            assert kinds, f"{host} never crashed under harsh churn"
+            expected = ["crash", "restart"] * (len(kinds) // 2 + 1)
+            assert kinds == expected[: len(kinds)]
+
+    def test_churn_delivers_nominal_downtime(self, env, network, injector):
+        """Regression (behavioral): with MTTR >> MTBF the host should be
+        down ~MTTR/(MTBF+MTTR) of the time (~0.83 here).  The old
+        scheduler's overlapping outages were truncated by earlier pending
+        restarts, delivering only ~0.45."""
+        host = network.add_host("h0")
+        observer = network.add_host("observer")  # never crashed, keeps sampling
+        until = 200.0
+        injector.churn(["h0"], mtbf=2.0, mttr=10.0, until=until)
+        samples = []
+
+        def sampler():
+            while env.now < until:
+                samples.append(host.up)
+                yield env.timeout(0.1)
+
+        observer.spawn(sampler())
+        env.run(until=until)
+        down_fraction = samples.count(False) / len(samples)
+        assert down_fraction > 0.65
+
+    def test_alternation_violations_flags_double_crash(
+        self, env, network, injector
+    ):
+        from repro.simnet.failure import FailureEvent
+
+        injector.log.append(FailureEvent(1.0, "crash", "h"))
+        injector.log.append(FailureEvent(2.0, "crash", "h"))
+        violations = injector.alternation_violations()
+        assert len(violations) == 1
+        assert "h" in violations[0] and "crash" in violations[0]
