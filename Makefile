@@ -1,6 +1,6 @@
 # Developer conveniences for the Whisper reproduction.
 
-.PHONY: install test bench examples figures all clean
+.PHONY: install test bench examples figures overload all clean
 
 install:
 	python setup.py develop
@@ -23,6 +23,9 @@ examples:
 
 figures:
 	python examples/figure4.py
+
+overload:
+	python -m repro overload
 
 outputs:
 	pytest tests/ 2>&1 | tee test_output.txt

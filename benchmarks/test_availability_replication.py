@@ -21,7 +21,7 @@ import pytest
 
 from repro.backend import student_database, student_lookup_operational
 from repro.bench import format_table
-from repro.core import WhisperSystem
+from repro.core import ScenarioConfig, WhisperSystem
 from repro.simnet.events import Interrupt
 from repro.soap import RequestTimeout, SoapClient, SoapFault
 
@@ -75,9 +75,11 @@ def _steady_client(system, address, path, operation, results):
 
 def measure_whisper(replicas: int, seed: int) -> float:
     system = WhisperSystem(
-        seed=seed, heartbeat_interval=0.5, miss_threshold=2
+        ScenarioConfig(
+            seed=seed, heartbeat_interval=0.5, miss_threshold=2, replicas=replicas
+        )
     )
-    service = system.deploy_student_service(replicas=replicas)
+    service = system.deploy_student_service()
     system.settle(6.0)
     hosts = [peer.node.name for peer in service.group.peers]
     system.failures.churn(
@@ -93,7 +95,7 @@ def measure_whisper(replicas: int, seed: int) -> float:
 
 def measure_plain(seed: int) -> float:
     """The no-Whisper baseline: one host, no redundancy (§1)."""
-    system = WhisperSystem(seed=seed)
+    system = WhisperSystem(ScenarioConfig(seed=seed))
     implementation = student_lookup_operational(student_database())
     plain = system.deploy_plain_service("StudentManagement", implementation)
     system.settle(2.0)

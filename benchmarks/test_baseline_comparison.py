@@ -23,6 +23,7 @@ from repro.bench import format_table
 from repro.core import (
     FailoverSoapClient,
     ReplicatedPlainService,
+    ScenarioConfig,
     WhisperSystem,
 )
 from repro.simnet.events import Interrupt
@@ -78,8 +79,12 @@ def _probe_run(system, call_generator_factory):
 
 
 def measure_whisper(seed: int) -> float:
-    system = WhisperSystem(seed=seed, heartbeat_interval=0.5, miss_threshold=2)
-    service = system.deploy_student_service(replicas=REPLICAS)
+    system = WhisperSystem(
+        ScenarioConfig(
+            seed=seed, heartbeat_interval=0.5, miss_threshold=2, replicas=REPLICAS
+        )
+    )
+    service = system.deploy_student_service()
     system.settle(6.0)
     system.failures.churn(
         [peer.node.name for peer in service.group.peers],
@@ -101,7 +106,7 @@ def measure_whisper(seed: int) -> float:
 
 
 def measure_client_side(seed: int) -> float:
-    system = WhisperSystem(seed=seed)
+    system = WhisperSystem(ScenarioConfig(seed=seed))
     replicated = ReplicatedPlainService(
         system, "StudentManagement",
         [student_lookup_operational(student_database()) for _ in range(REPLICAS)],

@@ -23,7 +23,7 @@ from repro.bench import (
     linear_fit,
     run_sweep,
 )
-from repro.core import WhisperSystem
+from repro.core import ScenarioConfig, WhisperSystem
 
 #: The paper's testbed had 9 machines; we sweep past it to show the trend.
 BPEER_COUNTS = [2, 4, 6, 8, 10, 12, 16]
@@ -32,8 +32,8 @@ SEED = 42
 
 
 def measure_messages(replicas: int) -> dict:
-    system = WhisperSystem(seed=SEED)
-    service = system.deploy_student_service(replicas=replicas)
+    system = WhisperSystem(ScenarioConfig(seed=SEED, replicas=replicas))
+    service = system.deploy_student_service()
     system.settle(6.0)
 
     workload = ClosedLoopWorkload(

@@ -12,7 +12,7 @@ from __future__ import annotations
 import pytest
 
 from repro.bench import format_sweep, run_sweep
-from repro.core import WhisperSystem
+from repro.core import ScenarioConfig, WhisperSystem
 
 REPLICAS = 4
 WINDOW = 20.0
@@ -20,18 +20,21 @@ WINDOW = 20.0
 
 def measure(heartbeat_interval: float) -> dict:
     # Steady-state maintenance traffic.
-    system = WhisperSystem(seed=19, heartbeat_interval=heartbeat_interval)
-    service = system.deploy_student_service(replicas=REPLICAS)
+    config = ScenarioConfig(
+        seed=19, heartbeat_interval=heartbeat_interval, replicas=REPLICAS
+    )
+    system = WhisperSystem(config)
+    service = system.deploy_student_service()
     system.settle(8.0)
     system.reset_counters()
     system.run_until(system.env.now + WINDOW)
     messages_per_second_per_peer = system.trace.sent_total / WINDOW / REPLICAS
 
     # Failover RTT under the same setting.
-    system2 = WhisperSystem(seed=19, heartbeat_interval=heartbeat_interval)
+    system2 = WhisperSystem(config)
     # Slow detection settings need a deeper retry budget to ride out the
     # longer failover window.
-    service2 = system2.deploy_student_service(replicas=REPLICAS, max_attempts=24)
+    service2 = system2.deploy_student_service(config.replace(max_attempts=24))
     system2.settle(8.0)
     node, soap = system2.add_client("tradeoff-client")
     latencies = []
@@ -67,8 +70,10 @@ def test_planned_vs_unplanned_failover(benchmark, show):
     """
 
     def measure(graceful: bool) -> float:
-        system = WhisperSystem(seed=29, heartbeat_interval=1.0)
-        service = system.deploy_student_service(replicas=REPLICAS)
+        system = WhisperSystem(
+            ScenarioConfig(seed=29, heartbeat_interval=1.0, replicas=REPLICAS)
+        )
+        service = system.deploy_student_service()
         system.settle(8.0)
         node, soap = system.add_client("handoff-client")
 

@@ -14,7 +14,7 @@ import pytest
 
 from repro.backend import ServiceImplementation, student_database
 from repro.bench import format_table, summarize
-from repro.core import WhisperSystem
+from repro.core import ScenarioConfig, WhisperSystem
 from repro.qos import QosMetrics, QosSelector, QosWeights, RandomSelector
 
 
@@ -73,7 +73,7 @@ def run_selector_comparison():
 def run_system_level():
     """Two semantically identical groups, one fast and one slow: after the
     proxy's QoS profiles warm up, invocations should favour the fast one."""
-    system = WhisperSystem(seed=23)
+    system = WhisperSystem(ScenarioConfig(seed=23))
     fast = system.deploy_service(
         _student_wsdl("StudentManagement"),
         [_lookup_impl(0.001, "fast-cluster") for _ in range(2)],

@@ -17,15 +17,20 @@ from __future__ import annotations
 import pytest
 
 from repro.bench import format_sweep, format_table, run_sweep
-from repro.core import WhisperSystem
+from repro.core import ScenarioConfig, WhisperSystem
 from repro.soap import SoapClient
 
 
 def _run_failover(heartbeat_interval: float, miss_threshold: int = 3, seed: int = 3):
     system = WhisperSystem(
-        seed=seed, heartbeat_interval=heartbeat_interval, miss_threshold=miss_threshold
+        ScenarioConfig(
+            seed=seed,
+            heartbeat_interval=heartbeat_interval,
+            miss_threshold=miss_threshold,
+            replicas=4,
+        )
     )
-    service = system.deploy_student_service(replicas=4)
+    service = system.deploy_student_service()
     system.settle(8.0)
     node, soap = system.add_client("failover-client")
     latencies = []
@@ -98,8 +103,10 @@ def test_failover_decomposition(benchmark, show):
     elect a new coordinator vs. the time to re-bind the proxy."""
 
     def measure() -> dict:
-        system = WhisperSystem(seed=5, heartbeat_interval=1.0)
-        service = system.deploy_student_service(replicas=4)
+        system = WhisperSystem(
+            ScenarioConfig(seed=5, heartbeat_interval=1.0, replicas=4)
+        )
+        service = system.deploy_student_service()
         system.settle(8.0)
         node, soap = system.add_client("decomp-client")
 

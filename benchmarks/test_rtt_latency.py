@@ -20,7 +20,7 @@ from __future__ import annotations
 import pytest
 
 from repro.bench import format_phase_breakdown, format_table, summarize
-from repro.core import WhisperSystem
+from repro.core import ScenarioConfig, WhisperSystem
 from repro.simnet import Environment, Network, RngRegistry
 
 SAMPLES = 400
@@ -67,8 +67,8 @@ def measure_service_rtt() -> tuple:
     per-phase breakdown, so the report can attribute the latency to
     discover/bind/invoke rather than quoting one opaque number.
     """
-    system = WhisperSystem(seed=7)
-    service = system.deploy_student_service(replicas=4)
+    system = WhisperSystem(ScenarioConfig(seed=7, replicas=4))
+    service = system.deploy_student_service()
     system.settle(6.0)
     node, soap = system.add_client("rtt-client")
     latencies = []

@@ -15,14 +15,16 @@ from __future__ import annotations
 import pytest
 
 from repro.bench import PoissonWorkload, format_sweep, run_sweep, summarize
-from repro.core import WhisperSystem
+from repro.core import ScenarioConfig, WhisperSystem
 
 DURATION = 8.0
 
 
 def _deploy(replicas: int, load_sharing: bool, seed: int = 17) -> tuple:
-    system = WhisperSystem(seed=seed, load_sharing=load_sharing)
-    service = system.deploy_student_service(replicas=replicas)
+    system = WhisperSystem(
+        ScenarioConfig(seed=seed, load_sharing=load_sharing, replicas=replicas)
+    )
+    service = system.deploy_student_service()
     system.settle(6.0)
     return system, service
 

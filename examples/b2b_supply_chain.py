@@ -22,14 +22,14 @@ from repro.backend import (
     patient_record_retrieval,
     patients_database,
 )
-from repro.core import WhisperSystem
+from repro.core import ScenarioConfig, WhisperSystem
 from repro.qos import QosMetrics, sequence
 from repro.wsdl import bank_loans_wsdl, healthcare_wsdl, insurance_claims_wsdl
 
 
 def main() -> None:
     print("=== B2B supply chain across three organizations (§1) ===\n")
-    system = WhisperSystem(seed=4)
+    system = WhisperSystem(ScenarioConfig(seed=4))
 
     claims = system.deploy_service(
         insurance_claims_wsdl(),

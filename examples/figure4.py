@@ -19,14 +19,14 @@ from repro.bench import (
     linear_fit,
     run_sweep,
 )
-from repro.core import WhisperSystem
+from repro.core import ScenarioConfig, WhisperSystem
 
 WINDOW_SECONDS = 20.0
 
 
 def measure(replicas: int) -> dict:
-    system = WhisperSystem(seed=42)
-    service = system.deploy_student_service(replicas=replicas)
+    system = WhisperSystem(ScenarioConfig(seed=42, replicas=replicas))
+    service = system.deploy_student_service()
     system.settle(6.0)
     workload = ClosedLoopWorkload(
         system, service.address, service.path, "StudentInformation",

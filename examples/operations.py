@@ -12,7 +12,7 @@ Run:  python examples/operations.py
 
 from __future__ import annotations
 
-from repro.core import WhisperSystem
+from repro.core import ScenarioConfig, WhisperSystem
 
 
 def _print_status(system: WhisperSystem, heading: str) -> None:
@@ -33,8 +33,10 @@ def _print_status(system: WhisperSystem, heading: str) -> None:
 
 def main() -> None:
     print("=== Whisper operations walk-through ===\n")
-    system = WhisperSystem(seed=6, record_trace_details=True)
-    service = system.deploy_student_service(replicas=3)
+    system = WhisperSystem(
+        ScenarioConfig(seed=6, record_trace_details=True, replicas=3)
+    )
+    service = system.deploy_student_service()
     system.settle(6.0)
 
     node, client = system.add_client("ops-client")

@@ -12,7 +12,7 @@ Run:  python examples/quickstart.py
 
 from __future__ import annotations
 
-from repro.core import WhisperSystem
+from repro.core import ScenarioConfig, WhisperSystem
 
 
 def main() -> None:
@@ -20,9 +20,9 @@ def main() -> None:
 
     # One simulated LAN: a rendezvous, a web server (service + SWS-proxy),
     # and four b-peers with alternating operational-DB / data-warehouse
-    # backends.
-    system = WhisperSystem(seed=1)
-    service = system.deploy_student_service(replicas=4)
+    # backends.  Every deployment knob lives on one ScenarioConfig.
+    system = WhisperSystem(ScenarioConfig(seed=1, replicas=4))
+    service = system.deploy_student_service()
     system.settle(6.0)
 
     coordinator = service.group.coordinator_peer()
@@ -63,6 +63,19 @@ def main() -> None:
             f"{student:>8}  {value['name']:<20} {value['source']:<16} "
             f"{elapsed * 1000:>8.1f}ms"
         )
+
+    # In-process callers get the typed invocation API: an InvokeResult
+    # carrying the payload plus how the call went (outcome, attempts,
+    # duration, trace id) — `.value` is the bare payload.
+    result = system.run_process(
+        service.invoke("StudentInformation", {"ID": "S00006"}),
+        node=service.proxy.node,
+    )
+    print(
+        f"\ntyped invoke: {result.value['studentId']} -> outcome "
+        f"{result.outcome.value}, {result.attempts} attempt(s), "
+        f"{result.duration * 1000:.1f}ms, trace #{result.trace_id}"
+    )
 
     new_coordinator = service.group.coordinator_peer()
     stats = service.proxy.stats

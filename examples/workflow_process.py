@@ -19,7 +19,7 @@ from repro.backend import (
     patient_record_retrieval,
     patients_database,
 )
-from repro.core import WhisperSystem
+from repro.core import ScenarioConfig, WhisperSystem
 from repro.qos import QosMetrics
 from repro.workflow import (
     ExclusiveChoice,
@@ -34,7 +34,7 @@ from repro.wsdl import bank_loans_wsdl, healthcare_wsdl, insurance_claims_wsdl
 
 def main() -> None:
     print("=== A composed B2B workflow over Whisper services ===\n")
-    system = WhisperSystem(seed=8)
+    system = WhisperSystem(ScenarioConfig(seed=8))
     claims = system.deploy_service(
         insurance_claims_wsdl(),
         [claim_assessment(claims_database()) for _ in range(2)],

@@ -34,12 +34,16 @@ class WorkloadResult:
     successes: int = 0
     faults: int = 0
     timeouts: int = 0
+    #: Requests refused end-to-end by admission control (terminal
+    #: ``Server.Busy`` faults) — counted separately from ``faults`` so
+    #: overload sheds are distinguishable from application errors.
+    shed: int = 0
     started_at: float = 0.0
     finished_at: float = 0.0
 
     @property
     def requests(self) -> int:
-        return self.successes + self.faults + self.timeouts
+        return self.successes + self.faults + self.timeouts + self.shed
 
     @property
     def availability(self) -> float:
@@ -47,6 +51,23 @@ class WorkloadResult:
         if self.requests == 0:
             return 1.0
         return self.successes / self.requests
+
+    @property
+    def accepted(self) -> int:
+        """Requests the system admitted (everything it did not shed)."""
+        return self.requests - self.shed
+
+    @property
+    def accepted_availability(self) -> float:
+        """Fraction of *admitted* requests answered successfully.
+
+        Under overload control this is the headline number: shedding is a
+        deliberate refusal, so it should not drag down the success rate of
+        the work the system agreed to do.
+        """
+        if self.accepted == 0:
+            return 1.0
+        return self.successes / self.accepted
 
     @property
     def duration(self) -> float:
@@ -129,8 +150,11 @@ class ClosedLoopWorkload:
                     self.arguments(sequence),
                     timeout=self.call_timeout,
                 )
-            except SoapFault:
-                self.result.faults += 1
+            except SoapFault as fault:
+                if fault.is_busy:
+                    self.result.shed += 1
+                else:
+                    self.result.faults += 1
             except RequestTimeout:
                 self.result.timeouts += 1
             except Interrupt:
@@ -210,8 +234,11 @@ class PoissonWorkload:
                 self.arguments(sequence),
                 timeout=self.call_timeout,
             )
-        except SoapFault:
-            self.result.faults += 1
+        except SoapFault as fault:
+            if fault.is_busy:
+                self.result.shed += 1
+            else:
+                self.result.faults += 1
         except RequestTimeout:
             self.result.timeouts += 1
         except Interrupt:

@@ -5,22 +5,25 @@
     python -m repro fig4 [--max-peers 16] [--seed 42]
     python -m repro rtt [--samples 400]
     python -m repro failover [--heartbeat 1.0]
-    python -m repro availability [--replicas 4]
+    python -m repro availability [--replicas 4] [--duration 120]
     python -m repro campaign [--duration 90] [--replicas 4] [--mtbf 25]
+    python -m repro overload [--rates 125,250,375,500] [--queue-bound 8]
     python -m repro trace [--samples 20] [--crash] [--last 5] [--json]
     python -m repro metrics [--samples 50] [--crash] [--json | --csv]
-    python -m repro demo
 
 Each subcommand prints the same tables the corresponding benchmark
-asserts on (see EXPERIMENTS.md).  ``trace`` and ``metrics`` drive a
-workload against the observability layer: ``trace`` prints per-request
-span trees, ``metrics`` the aggregated counters and per-phase latency
-histograms (both exportable as JSON/CSV for offline analysis).
+asserts on (see EXPERIMENTS.md).  Common flags — ``--seed``,
+``--duration``, ``--json`` — are shared parent parsers, so they work
+uniformly before or after the subcommand name.  ``overload`` sweeps an
+open-loop arrival rate across the deployment's saturation knee and shows
+what bounded queues + load-aware dispatch do to shed rate and tail
+latency.
 """
 
 from __future__ import annotations
 
 import argparse
+import json as json_module
 from typing import List, Optional, Tuple
 
 from .bench import (
@@ -33,7 +36,9 @@ from .bench import (
     run_sweep,
     summarize,
 )
-from .core import WhisperSystem
+from .bench.overload import run_overload_point
+from .core import ScenarioConfig, WhisperSystem
+from .core.dispatch import DISPATCH_POLICIES
 
 __all__ = ["main"]
 
@@ -42,8 +47,8 @@ def _cmd_fig4(args: argparse.Namespace) -> int:
     counts = [n for n in (2, 4, 6, 8, 10, 12, 16, 20, 24) if n <= args.max_peers]
 
     def measure(replicas: int) -> dict:
-        system = WhisperSystem(seed=args.seed)
-        service = system.deploy_student_service(replicas=replicas)
+        system = WhisperSystem(ScenarioConfig(seed=args.seed, replicas=replicas))
+        service = system.deploy_student_service()
         system.settle(6.0)
         ClosedLoopWorkload(
             system, service.address, service.path, "StudentInformation",
@@ -66,8 +71,8 @@ def _cmd_fig4(args: argparse.Namespace) -> int:
 
 
 def _cmd_rtt(args: argparse.Namespace) -> int:
-    system = WhisperSystem(seed=args.seed)
-    service = system.deploy_student_service(replicas=4)
+    system = WhisperSystem(ScenarioConfig(seed=args.seed, replicas=4))
+    service = system.deploy_student_service()
     system.settle(6.0)
     node, soap = system.add_client("rtt-client")
     latencies: List[float] = []
@@ -94,8 +99,10 @@ def _cmd_rtt(args: argparse.Namespace) -> int:
 
 
 def _cmd_failover(args: argparse.Namespace) -> int:
-    system = WhisperSystem(seed=args.seed, heartbeat_interval=args.heartbeat)
-    service = system.deploy_student_service(replicas=4)
+    system = WhisperSystem(
+        ScenarioConfig(seed=args.seed, heartbeat_interval=args.heartbeat, replicas=4)
+    )
+    service = system.deploy_student_service()
     system.settle(8.0)
     node, soap = system.add_client("failover-client")
     rows = []
@@ -123,11 +130,18 @@ def _cmd_failover(args: argparse.Namespace) -> int:
 
 
 def _cmd_availability(args: argparse.Namespace) -> int:
-    system = WhisperSystem(seed=args.seed, heartbeat_interval=0.5, miss_threshold=2)
-    service = system.deploy_student_service(replicas=args.replicas)
+    system = WhisperSystem(
+        ScenarioConfig(
+            seed=args.seed,
+            heartbeat_interval=0.5,
+            miss_threshold=2,
+            replicas=args.replicas,
+        )
+    )
+    service = system.deploy_student_service()
     system.settle(6.0)
     hosts = [peer.node.name for peer in service.group.peers]
-    run_seconds = 120.0
+    run_seconds = args.duration
     system.failures.churn(hosts, mtbf=25.0, mttr=20.0, until=system.env.now + run_seconds)
     node, soap = system.add_client("avail-client", timeout=2.0)
     results = {"ok": 0, "failed": 0}
@@ -154,6 +168,12 @@ def _cmd_availability(args: argparse.Namespace) -> int:
     system.run_until(system.env.now + 5.0)
     total = results["ok"] + results["failed"]
     availability = results["ok"] / total if total else 0.0
+    if args.json:
+        print(json_module.dumps({
+            "replicas": args.replicas, "probes": total,
+            "succeeded": results["ok"], "availability": availability,
+        }, indent=2))
+        return 0
     print(format_table(
         ["metric", "value"],
         [["replicas", args.replicas], ["probes", total],
@@ -180,6 +200,50 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_overload(args: argparse.Namespace) -> int:
+    rates = [float(r) for r in args.rates.split(",") if r.strip()]
+    config = ScenarioConfig(
+        seed=args.seed,
+        replicas=args.replicas,
+        dispatch=args.dispatch,
+        queue_bound=args.queue_bound,
+        request_timeout=2.0,
+        max_attempts=6,
+        deadline_budget=args.deadline,
+    )
+    points = [
+        run_overload_point(rate, duration=args.duration, config=config)
+        for rate in rates
+    ]
+    if args.json:
+        print(json_module.dumps([
+            {
+                "rate": p.rate, "capacity": p.capacity, "dispatch": p.dispatch,
+                "queue_bound": p.queue_bound, "requests": p.requests,
+                "successes": p.successes, "shed": p.shed, "faults": p.faults,
+                "timeouts": p.timeouts, "shed_rate": p.shed_rate,
+                "availability": p.availability,
+                "accepted_availability": p.accepted_availability,
+                "throughput": p.throughput,
+                "p50_ms": p.latency.p50 * 1000, "p99_ms": p.latency.p99 * 1000,
+                "coordinator_sheds": p.coordinator_sheds,
+                "retry_after_honored": p.retry_after_honored,
+            }
+            for p in points
+        ], indent=2))
+        return 0
+    capacity = points[0].capacity if points else 0.0
+    bound = "unbounded" if args.queue_bound is None else str(args.queue_bound)
+    print(format_table(
+        ["rate", "load", "offered", "ok", "shed", "shed rate",
+         "accepted avail", "tput", "p50 ms", "p99 ms"],
+        [p.row() for p in points],
+        title=(f"Overload sweep — {args.replicas} replicas, knee ~{capacity:.0f}/s, "
+               f"dispatch {args.dispatch}, queue bound {bound}"),
+    ))
+    return 0
+
+
 def _observed_run(
     seed: int, samples: int, crash: bool = False, replicas: int = 4
 ) -> Tuple[WhisperSystem, object]:
@@ -189,8 +253,8 @@ def _observed_run(
     the workload starts, so the traces show the full failure story: a
     timed-out ``invoke``, a ``recover`` span, re-``bind``, and retry.
     """
-    system = WhisperSystem(seed=seed)
-    service = system.deploy_student_service(replicas=replicas)
+    system = WhisperSystem(ScenarioConfig(seed=seed, replicas=replicas))
+    service = system.deploy_student_service()
     system.settle(6.0)
     node, soap = system.add_client("obs-client")
     if crash:
@@ -229,6 +293,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
+    if args.json and args.csv:
+        raise SystemExit("--json and --csv are mutually exclusive")
     system, _service = _observed_run(args.seed, args.samples, crash=args.crash)
     if args.json:
         print(system.obs.to_json(indent=2))
@@ -253,61 +319,110 @@ def build_parser() -> argparse.ArgumentParser:
         description="Whisper reproduction — run the paper's experiments.",
     )
     parser.add_argument("--seed", type=int, default=42, help="root RNG seed")
+
+    # Shared flags as parent parsers.  ``default=argparse.SUPPRESS`` keeps
+    # a subcommand-level ``--seed``/``--duration`` from clobbering the
+    # top-level value (or the per-command ``set_defaults``) when the flag
+    # is not actually on the command line.
+    seed_parent = argparse.ArgumentParser(add_help=False)
+    seed_parent.add_argument(
+        "--seed", type=int, default=argparse.SUPPRESS, help="root RNG seed"
+    )
+    duration_parent = argparse.ArgumentParser(add_help=False)
+    duration_parent.add_argument(
+        "--duration", type=float, default=argparse.SUPPRESS,
+        help="run length in simulated seconds",
+    )
+    json_parent = argparse.ArgumentParser(add_help=False)
+    json_parent.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    fig4 = subparsers.add_parser("fig4", help="Figure 4: messages vs b-peers")
+    fig4 = subparsers.add_parser(
+        "fig4", parents=[seed_parent], help="Figure 4: messages vs b-peers"
+    )
     fig4.add_argument("--max-peers", type=int, default=16)
     fig4.set_defaults(func=_cmd_fig4)
 
-    rtt = subparsers.add_parser("rtt", help="failure-free RTT distribution")
+    rtt = subparsers.add_parser(
+        "rtt", parents=[seed_parent], help="failure-free RTT distribution"
+    )
     rtt.add_argument("--samples", type=int, default=200)
     rtt.set_defaults(func=_cmd_rtt)
 
-    failover = subparsers.add_parser("failover", help="worst-case RTT (crash)")
+    failover = subparsers.add_parser(
+        "failover", parents=[seed_parent], help="worst-case RTT (crash)"
+    )
     failover.add_argument("--heartbeat", type=float, default=1.0)
     failover.set_defaults(func=_cmd_failover)
 
     availability = subparsers.add_parser(
-        "availability", help="availability under churn"
+        "availability",
+        parents=[seed_parent, duration_parent, json_parent],
+        help="availability under churn",
     )
     availability.add_argument("--replicas", type=int, default=4)
-    availability.set_defaults(func=_cmd_availability)
+    availability.set_defaults(func=_cmd_availability, duration=120.0)
 
     campaign = subparsers.add_parser(
         "campaign",
+        parents=[seed_parent, duration_parent],
         help="seeded fault campaign (churn + partitions) with invariant audit",
     )
-    campaign.add_argument("--duration", type=float, default=90.0)
     campaign.add_argument("--replicas", type=int, default=4)
     campaign.add_argument("--mtbf", type=float, default=25.0)
     campaign.add_argument("--mttr", type=float, default=10.0)
     campaign.add_argument("--partitions", type=int, default=2)
     campaign.add_argument("--partition-duration", type=float, default=6.0)
-    campaign.set_defaults(func=_cmd_campaign)
+    campaign.set_defaults(func=_cmd_campaign, duration=90.0)
+
+    overload = subparsers.add_parser(
+        "overload",
+        parents=[seed_parent, duration_parent, json_parent],
+        help="saturation sweep: shed rate + tail latency across the knee",
+    )
+    overload.add_argument(
+        "--rates", default="125,250,375,500",
+        help="comma-separated open-loop arrival rates (requests/s)",
+    )
+    overload.add_argument("--replicas", type=int, default=4)
+    overload.add_argument(
+        "--dispatch", choices=sorted(DISPATCH_POLICIES), default="least-outstanding",
+    )
+    overload.add_argument(
+        "--queue-bound", type=int, default=8,
+        help="per-member admission bound (0 = unbounded)",
+    )
+    overload.add_argument(
+        "--deadline", type=float, default=2.0,
+        help="per-request deadline budget in seconds",
+    )
+    overload.set_defaults(func=_cmd_overload, duration=5.0)
 
     trace = subparsers.add_parser(
-        "trace", help="per-request phase span trees + phase breakdown"
+        "trace",
+        parents=[seed_parent, json_parent],
+        help="per-request phase span trees + phase breakdown",
     )
     trace.add_argument("--samples", type=int, default=20)
     trace.add_argument("--crash", action="store_true",
                        help="crash the coordinator mid-run (shows recovery)")
     trace.add_argument("--last", type=int, default=5,
                        help="how many recent traces to print")
-    trace.add_argument("--json", action="store_true",
-                       help="emit traces as JSON instead of trees")
     trace.set_defaults(func=_cmd_trace)
 
     metrics = subparsers.add_parser(
-        "metrics", help="aggregated counters + per-phase latency histograms"
+        "metrics",
+        parents=[seed_parent, json_parent],
+        help="aggregated counters + per-phase latency histograms",
     )
     metrics.add_argument("--samples", type=int, default=50)
     metrics.add_argument("--crash", action="store_true",
                          help="crash the coordinator mid-run (shows recovery)")
-    output = metrics.add_mutually_exclusive_group()
-    output.add_argument("--json", action="store_true",
-                        help="emit the full registry as JSON")
-    output.add_argument("--csv", action="store_true",
-                        help="emit the phase breakdown as CSV")
+    metrics.add_argument("--csv", action="store_true",
+                         help="emit the phase breakdown as CSV")
     metrics.set_defaults(func=_cmd_metrics)
 
     return parser
@@ -316,4 +431,6 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "queue_bound", None) == 0:
+        args.queue_bound = None
     return args.func(args)

@@ -10,6 +10,15 @@ from .baselines import FailoverSoapClient, ReplicatedPlainService
 from .bpeer import BPeer, ExecReply, ExecRequest
 from .bpeer_group import BPeerGroup, deploy_bpeer_group, semantic_advertisement_for
 from .campaign import CampaignReport, FaultCampaign
+from .config import ScenarioConfig
+from .dispatch import (
+    DispatchPolicy,
+    LeastOutstandingDispatch,
+    MemberLoad,
+    QosWeightedDispatch,
+    RoundRobinDispatch,
+    dispatch_policy,
+)
 from .errors import (
     AnnotationError,
     InvocationFailedError,
@@ -19,6 +28,7 @@ from .errors import (
 )
 from .matching import GroupMatch, SemanticGroupMatcher, SyntacticGroupMatcher
 from .proxy import ProxyStats, SwsProxy
+from .result import InvokeOutcome, InvokeResult
 from .retry import Deadline, RetryPolicy
 from .sws import SemanticWebService
 from .system import DeployedService, WhisperSystem
@@ -31,18 +41,26 @@ __all__ = [
     "CampaignReport",
     "Deadline",
     "DeployedService",
+    "DispatchPolicy",
     "FaultCampaign",
     "RetryPolicy",
     "ExecReply",
     "ExecRequest",
     "FailoverSoapClient",
+    "InvokeOutcome",
+    "InvokeResult",
+    "LeastOutstandingDispatch",
+    "MemberLoad",
+    "QosWeightedDispatch",
     "ReplicatedPlainService",
+    "RoundRobinDispatch",
     "GroupMatch",
     "InvocationFailedError",
     "NoCoordinatorError",
     "NoMatchingGroupError",
     "PlainWebService",
     "ProxyStats",
+    "ScenarioConfig",
     "SemanticGroupMatcher",
     "SemanticWebService",
     "SwsProxy",
@@ -51,5 +69,6 @@ __all__ = [
     "WhisperSystem",
     "WhisperWebService",
     "deploy_bpeer_group",
+    "dispatch_policy",
     "semantic_advertisement_for",
 ]

@@ -13,16 +13,22 @@ coordinator executes the request — and when its own backend is down it
 data-warehouse scenario), transparently to the proxy.
 
 With ``load_sharing=True`` the coordinator additionally spreads incoming
-requests round-robin over the members (§4.1: "the redundancy mechanism of
-Whisper makes possible to also address scalability requirements through
-load-sharing"), with members answering the proxy directly.
+requests over the members (§4.1: "the redundancy mechanism of Whisper
+makes possible to also address scalability requirements through
+load-sharing"), with members answering the proxy directly.  *Which*
+member gets each request is a pluggable
+:class:`~repro.core.dispatch.DispatchPolicy` (blind round-robin,
+least-outstanding, or QoS-weighted); with a ``queue_bound`` set, the
+coordinator additionally runs admission control — when every eligible
+member is at its bound the request is *shed* with a ``busy`` reply
+carrying a retry-after hint, instead of queueing without limit.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..backend.services import ServiceImplementation
 from ..backend.store import BackendUnavailable, RecordNotFound
@@ -36,6 +42,7 @@ from ..simnet.node import Node
 from ..simnet.queues import Store
 from ..election.coordinator import GroupCoordinator
 from ..election.epoch import Epoch
+from .dispatch import DispatchSpec, MemberLoad, dispatch_policy
 
 __all__ = ["BPeer", "ExecRequest", "ExecReply"]
 
@@ -51,6 +58,10 @@ DELEGATION_TIMEOUT = 1.0
 #: advertisements periodically; this is what repopulates the rendezvous'
 #: SRDI index after a rendezvous restart).
 REPUBLISH_PERIOD = 10.0
+
+#: Histogram bounds for the coordinator's queue-depth metric (requests
+#: outstanding across the group at admission time — counts, not seconds).
+QUEUE_DEPTH_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
 
 
 @dataclass
@@ -77,7 +88,9 @@ class ExecReply:
     """The b-peer group's answer to one :class:`ExecRequest`.
 
     ``kind`` is one of ``result``, ``fault``, ``not-coordinator`` (with a
-    forward pointer in ``coordinator``), or ``cannot-serve``.
+    forward pointer in ``coordinator``), ``cannot-serve``, or ``busy``
+    (admission control shed the request; ``retry_after`` hints when a
+    slot should free up).
     """
 
     request_id: int
@@ -90,6 +103,8 @@ class ExecReply:
     #: the forward pointer (redirects); lets the proxy discard answers from
     #: deposed coordinators.
     epoch: Optional[Epoch] = None
+    #: For ``busy`` replies: estimated seconds until a queue slot frees.
+    retry_after: Optional[float] = None
 
 
 @dataclass
@@ -111,6 +126,8 @@ class BPeer(Peer):
         heartbeat_interval: float = 1.0,
         miss_threshold: int = 3,
         load_sharing: bool = False,
+        dispatch: DispatchSpec = None,
+        queue_bound: Optional[int] = None,
         name: Optional[str] = None,
     ):
         super().__init__(node, name=name)
@@ -118,6 +135,13 @@ class BPeer(Peer):
         self.group_name = group_name
         self.implementation = implementation
         self.load_sharing = load_sharing
+        #: How a coordinating replica spreads load-shared work.
+        self.dispatch = dispatch_policy(dispatch)
+        #: Admission control: max dispatched-but-unfinished requests per
+        #: member.  ``None`` = the seed's unbounded behaviour.
+        if queue_bound is not None and queue_bound < 1:
+            raise ValueError("queue_bound must be >= 1 (or None for unbounded)")
+        self.queue_bound = queue_bound
         self.coordinator_mgr = GroupCoordinator(
             self.groups,
             group_id,
@@ -127,6 +151,8 @@ class BPeer(Peer):
         self.requests_executed = 0
         self.requests_delegated = 0
         self.requests_redirected = 0
+        #: Requests shed by admission control (queue bound hit).
+        self.requests_shed = 0
         #: Requests bounced because they carried an epoch below ours — the
         #: sender was bound to a deposed coordinator (split-brain fencing).
         self.stale_epoch_rejections = 0
@@ -136,7 +162,12 @@ class BPeer(Peer):
         self._queue: Store = Store(self.env)
         self._delegations: Dict[int, _Delegation] = {}
         self._delegation_ids = itertools.count(1)
-        self._round_robin = 0
+        #: Coordinator-side load ledger: per-member outstanding counts +
+        #: last reported QoS snapshot, feeding the dispatch policy and
+        #: admission control.  Reset whenever our coordinator term moves
+        #: (counts from a previous term would be stale).
+        self._member_load: Dict[PeerId, MemberLoad] = {}
+        self._ledger_epoch: Optional[Epoch] = None
         self._worker = None
         self._republisher = None
         #: Advertisements this peer keeps alive on the network.
@@ -268,7 +299,106 @@ class BPeer(Peer):
                 ),
             )
             return
-        self._queue.put(("exec", request))
+        self._admit(request)
+
+    # -- admission control & dispatch (coordinator-side) -------------------------------
+
+    def _admit(self, request: ExecRequest) -> None:
+        """Admission control: enqueue with a dispatch target, or shed.
+
+        The dispatch decision is made here, at arrival, so the bound is
+        checked against the member that would actually serve the request
+        (least-outstanding sheds only when the *whole group* is full;
+        blind round-robin sheds whenever its rotation lands on a full
+        member — that difference is the policies' throughput gap under
+        heterogeneous backends).
+        """
+        if self._ledger_epoch != self.coordinator_mgr.epoch:
+            self._member_load.clear()
+            self._ledger_epoch = self.coordinator_mgr.epoch
+        target = self._dispatch_target()
+        state = self._load_for(target)
+        obs = self.node.network.obs
+        if self.queue_bound is not None and state.outstanding >= self.queue_bound:
+            self._shed(request)
+            return
+        state.outstanding += 1
+        obs.metrics.observe(
+            "bpeer.queue_depth", self._total_outstanding(), bounds=QUEUE_DEPTH_BUCKETS
+        )
+        self._queue.put(("exec", (request, target)))
+
+    def _dispatch_members(self) -> List[PeerId]:
+        """Members eligible for dispatch (ourselves when not load-sharing).
+
+        Members the failure detector has removed from the group view (a
+        crashed coordinator, silent election candidates) are skipped by
+        every policy; their ledger entries are dropped here so leaked
+        counts cannot poison admission.  Crashed followers are *not*
+        detected — the proxy's timeout-and-retry masks them instead.
+        """
+        if not self.load_sharing:
+            return [self.peer_id]
+        view = self.groups.groups.get(self.group_id)
+        members = view.sorted_members() if view is not None else []
+        if not members:
+            return [self.peer_id]
+        current = set(members)
+        for member in list(self._member_load):
+            if member not in current:
+                del self._member_load[member]
+        return members
+
+    def _dispatch_target(self) -> PeerId:
+        members = self._dispatch_members()
+        if len(members) == 1:
+            return members[0]
+        choice = self.dispatch.choose(members, self._member_load)
+        return choice if choice is not None else self.peer_id
+
+    def _load_for(self, member: PeerId) -> MemberLoad:
+        state = self._member_load.get(member)
+        if state is None:
+            state = self._member_load[member] = MemberLoad()
+        return state
+
+    def _release_load(self, member: PeerId) -> None:
+        state = self._member_load.get(member)
+        if state is not None and state.outstanding > 0:
+            state.outstanding -= 1
+
+    def _total_outstanding(self) -> int:
+        return sum(state.outstanding for state in self._member_load.values())
+
+    def _shed(self, request: ExecRequest) -> None:
+        """Refuse the request with a ``busy`` reply + retry-after hint."""
+        self.requests_shed += 1
+        self.node.network.obs.metrics.inc("bpeer.shed")
+        self._reply(
+            request,
+            ExecReply(
+                request_id=request.request_id,
+                kind="busy",
+                retry_after=self._retry_after_hint(),
+                epoch=self.coordinator_mgr.epoch,
+            ),
+        )
+
+    def _retry_after_hint(self) -> float:
+        """ETA (seconds) until the least-loaded member frees a slot."""
+        best: Optional[float] = None
+        for member in self._dispatch_members():
+            state = self._member_load.get(member)
+            outstanding = state.outstanding if state is not None else 0
+            per_request = (
+                state.qos.time
+                if state is not None and state.qos is not None
+                else self.implementation.service_time
+            )
+            eta = per_request * max(1, outstanding)
+            if best is None or eta < best:
+                best = eta
+        return best if best is not None else self.implementation.service_time
 
     def _coordinator_pointer(self) -> Optional[Tuple]:
         """Forward pointer ``(peer, address, epoch)`` for redirects."""
@@ -286,46 +416,39 @@ class BPeer(Peer):
     def _work_loop(self):
         try:
             while True:
-                kind, request = yield self._queue.get()
+                kind, item = yield self._queue.get()
                 if kind == "exec":
-                    yield from self._serve(request)
+                    yield from self._serve(*item)
                 elif kind == "delegated":
-                    yield from self._serve_delegated(*request)
+                    yield from self._serve_delegated(*item)
         except Interrupt:
             return
 
-    def _serve(self, request: ExecRequest):
-        if self.load_sharing:
-            target = self._pick_round_robin()
-            if target is not None and target != self.peer_id:
-                # Spread load: the member executes and answers the proxy.
-                self.requests_delegated += 1
-                try:
-                    self.groups.send_to_member(
-                        self.group_id,
-                        target,
-                        PROTO_DELEGATE,
-                        ("direct", request),
-                        category="bpeer-delegate",
-                        size_bytes=512,
-                    )
-                    return
-                except UnresolvablePeerError:
-                    pass  # fall through to local execution
+    def _serve(self, request: ExecRequest, target: Optional[PeerId] = None):
+        if target is None:
+            target = self.peer_id
+        if target != self.peer_id:
+            # Spread load: the member executes and answers the proxy; its
+            # completion report releases the ledger slot.
+            self.requests_delegated += 1
+            try:
+                self.groups.send_to_member(
+                    self.group_id,
+                    target,
+                    PROTO_DELEGATE,
+                    ("direct", request),
+                    category="bpeer-delegate",
+                    size_bytes=512,
+                )
+                return
+            except UnresolvablePeerError:
+                # Fall through to local execution; move the accounting.
+                self._release_load(target)
+                self._load_for(self.peer_id).outstanding += 1
         reply = yield from self._execute_or_delegate(request)
         self._reply(request, reply)
-
-    def _pick_round_robin(self) -> Optional[PeerId]:
-        """Next member in rotation (including ourselves), for load sharing."""
-        view = self.groups.groups.get(self.group_id)
-        if view is None:
-            return None
-        members = view.sorted_members()
-        if not members:
-            return None
-        choice = members[self._round_robin % len(members)]
-        self._round_robin += 1
-        return choice
+        self._release_load(self.peer_id)
+        self._load_for(self.peer_id).qos = self.qos_profile.snapshot()
 
     def _execute_or_delegate(self, request: ExecRequest):
         """Try locally; on backend unavailability, try each other member."""
@@ -407,10 +530,19 @@ class BPeer(Peer):
             return
         mode = payload[0]
         if mode == "direct":
-            # Load-sharing: execute and answer the proxy ourselves.
+            # Load-sharing: execute and answer the proxy ourselves; the
+            # sending coordinator gets a completion report afterwards so
+            # its load ledger stays truthful.
             _mode, request = payload
             self.endpoint.add_route(request.reply_to, request.reply_addr)
-            self._queue.put(("delegated", ("direct", None, None, request)))
+            self._queue.put(("delegated", ("direct", None, src_peer, request)))
+        elif mode == "report":
+            # A member finished a direct-dispatched request: release its
+            # ledger slot and refresh its QoS snapshot (feeds the
+            # least-outstanding and QoS-weighted policies).
+            _mode, member, qos = payload
+            self._release_load(member)
+            self._load_for(member).qos = qos
         elif mode == "relay":
             _mode, delegation_id, coordinator, request = payload
             self._queue.put(
@@ -431,6 +563,18 @@ class BPeer(Peer):
             # would (§4.1's transparent takeover applies here too).
             reply = yield from self._execute_or_delegate(request)
             self._reply(request, reply)
+            if coordinator is not None and coordinator != self.peer_id:
+                try:
+                    self.groups.send_to_member(
+                        self.group_id,
+                        coordinator,
+                        PROTO_DELEGATE,
+                        ("report", self.peer_id, self.qos_profile.snapshot()),
+                        category="bpeer-load-report",
+                        size_bytes=96,
+                    )
+                except UnresolvablePeerError:
+                    pass
             return
         # Relay mode: execute locally only (the *coordinator* owns the
         # delegation chain; a delegate that also delegated could loop).
@@ -480,6 +624,8 @@ class BPeer(Peer):
     def _on_crash(self) -> None:
         self._queue.items.clear()
         self._delegations.clear()
+        self._member_load.clear()
+        self._ledger_epoch = None
         self._worker = None
         self._republisher = None
 

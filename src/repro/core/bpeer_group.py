@@ -84,6 +84,10 @@ class BPeerGroup:
     def total_requests_executed(self) -> int:
         return sum(peer.requests_executed for peer in self.peers)
 
+    def total_requests_shed(self) -> int:
+        """Requests refused by admission control, group-wide."""
+        return sum(peer.requests_shed for peer in self.peers)
+
 
 def deploy_bpeer_group(
     network: Network,
@@ -96,6 +100,8 @@ def deploy_bpeer_group(
     heartbeat_interval: float = 1.0,
     miss_threshold: int = 3,
     load_sharing: bool = False,
+    dispatch=None,
+    queue_bound: Optional[int] = None,
     advertise_remote: bool = True,
     advertise_qos: Optional[QosMetrics] = None,
 ) -> BPeerGroup:
@@ -131,6 +137,8 @@ def deploy_bpeer_group(
             heartbeat_interval=heartbeat_interval,
             miss_threshold=miss_threshold,
             load_sharing=load_sharing,
+            dispatch=dispatch,
+            queue_bound=queue_bound,
         )
         bpeer.start(rendezvous)
         # Every replica keeps the group advertisement alive (idempotent in

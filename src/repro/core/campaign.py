@@ -30,6 +30,7 @@ from ..simnet.events import Interrupt
 from ..soap.client import SoapClient
 from ..soap.fault import SoapFault
 from ..soap.http import RequestTimeout
+from .config import ScenarioConfig
 from .system import WhisperSystem
 
 __all__ = ["FaultCampaign", "CampaignReport"]
@@ -118,11 +119,14 @@ class FaultCampaign:
         self.probe_period = probe_period
         self.probe_timeout = probe_timeout
         self.system = WhisperSystem(
-            seed=seed,
-            heartbeat_interval=heartbeat_interval,
-            miss_threshold=miss_threshold,
+            ScenarioConfig(
+                seed=seed,
+                heartbeat_interval=heartbeat_interval,
+                miss_threshold=miss_threshold,
+                replicas=replicas,
+            )
         )
-        self.service = self.system.deploy_student_service(replicas=replicas)
+        self.service = self.system.deploy_student_service()
 
     # -- the run ---------------------------------------------------------------------
 

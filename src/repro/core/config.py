@@ -1,0 +1,98 @@
+"""Scenario configuration: every deploy/workload knob in one place.
+
+The seed scattered deployment knobs across ``WhisperSystem.__init__``
+(seed, heartbeats, load sharing), ``deploy_student_service`` (replicas,
+dataset sizes) and ad-hoc call sites (settle time), and the overload work
+adds more (dispatch policy, queue bounds).  :class:`ScenarioConfig`
+collapses them into one dataclass consumed by
+:class:`~repro.core.system.WhisperSystem`; the old keyword arguments
+survive as a thin deprecated shim that builds a config for you.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Union
+
+from ..ontology.match import DegreeOfMatch
+
+__all__ = ["ScenarioConfig"]
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """One deployment scenario, from RNG seed to dispatch policy."""
+
+    # -- simulation-wide --
+    #: Root seed for every RNG stream (runs are bit-for-bit reproducible).
+    seed: int = 0
+    #: Simulated seconds :meth:`WhisperSystem.settle` waits by default for
+    #: joins, SRDI pushes and the first election to finish.
+    settle: float = 6.0
+    #: Record per-message detail on the trace (memory-heavy; debug only).
+    record_trace_details: bool = False
+    #: Request-scoped tracing + metrics (near-zero-cost to disable).
+    observability: bool = True
+
+    # -- group coordination --
+    heartbeat_interval: float = 1.0
+    miss_threshold: int = 3
+
+    # -- semantic matching --
+    min_degree: DegreeOfMatch = DegreeOfMatch.EXACT
+
+    # -- load sharing & overload control --
+    #: Spread requests over members (§4.1) instead of coordinator-only.
+    load_sharing: bool = False
+    #: Dispatch policy name or instance (see :mod:`repro.core.dispatch`):
+    #: ``round-robin``, ``least-outstanding``, or ``qos``.
+    dispatch: Union[str, Any, None] = "round-robin"
+    #: Per-member cap on dispatched-but-unfinished requests.  ``None``
+    #: keeps the seed's unbounded queues; with a bound, the coordinator
+    #: sheds excess load with a ``server-busy`` fault + retry-after hint
+    #: instead of queueing forever.
+    queue_bound: Optional[int] = None
+
+    # -- canonical student scenario (§3) --
+    replicas: int = 4
+    students: int = 200
+    warehouse_every: int = 2
+
+    # -- proxy budgets --
+    request_timeout: float = 2.0
+    max_attempts: int = 8
+    deadline_budget: float = 60.0
+
+    def replace(self, **changes: Any) -> "ScenarioConfig":
+        """A copy with ``changes`` applied (convenience for sweeps)."""
+        return dataclasses.replace(self, **changes)
+
+    @classmethod
+    def from_legacy_kwargs(
+        cls,
+        base: Optional["ScenarioConfig"],
+        kwargs: Dict[str, Any],
+        where: str,
+    ) -> "ScenarioConfig":
+        """Build/extend a config from pre-redesign keyword arguments.
+
+        The shim for callers of the old scattered-kwargs API: unknown
+        keys raise (as they always did), known keys override ``base`` and
+        emit a :class:`DeprecationWarning` pointing at ``ScenarioConfig``.
+        """
+        config = base if base is not None else cls()
+        supplied = {k: v for k, v in kwargs.items() if v is not None}
+        if not supplied:
+            return config
+        unknown = set(supplied) - {f.name for f in dataclasses.fields(cls)}
+        if unknown:
+            raise TypeError(f"{where} got unexpected arguments: {sorted(unknown)}")
+        warnings.warn(
+            f"passing {sorted(supplied)} to {where} is deprecated; "
+            "build a ScenarioConfig instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return config.replace(**supplied)

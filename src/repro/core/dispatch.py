@@ -1,0 +1,181 @@
+"""Pluggable load-aware dispatch for b-peer coordinators.
+
+§4.1 claims the redundancy mechanism "makes possible to also address
+scalability requirements through load-sharing", but the paper never says
+*how* the coordinator spreads work.  The seed implementation cycled
+blindly (round-robin) with unbounded queues, which melts down past
+saturation: slow members accumulate backlog while fast members idle.
+
+This module makes the coordinator's choice a policy object, in the spirit
+of the CERN peer-group line of work (adaptive member selection from
+observed load) and the QoS-selection literature (weighted member ranking):
+
+* :class:`RoundRobinDispatch` — the paper-faithful blind rotation;
+* :class:`LeastOutstandingDispatch` — pick the member with the fewest
+  requests in flight (adaptive capacity: a slow or struggling member
+  naturally receives less work);
+* :class:`QosWeightedDispatch` — rank members by their reported QoS
+  profile (time/cost/reliability, reusing
+  :class:`~repro.qos.selection.QosSelector`) with the advertised time
+  inflated by current backlog, so selection is both quality- and
+  load-aware.
+
+Policies see only what a coordinator can actually know: the current group
+view and a per-member :class:`MemberLoad` ledger fed by dispatch
+accounting and members' completion reports.  Crashed members drop out of
+the view (the failure detector prunes them), so every policy skips them
+by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..p2p.ids import PeerId
+from ..qos.metrics import QosMetrics
+from ..qos.selection import QosSelector
+
+__all__ = [
+    "MemberLoad",
+    "DispatchPolicy",
+    "RoundRobinDispatch",
+    "LeastOutstandingDispatch",
+    "QosWeightedDispatch",
+    "dispatch_policy",
+    "DISPATCH_POLICIES",
+]
+
+
+@dataclass
+class MemberLoad:
+    """What the coordinator knows about one member's load.
+
+    ``outstanding`` counts requests dispatched to the member and not yet
+    reported complete; ``qos`` is the member's last self-reported QoS
+    snapshot (``None`` until the first completion report arrives).
+    """
+
+    outstanding: int = 0
+    qos: Optional[QosMetrics] = field(default=None)
+
+
+class DispatchPolicy:
+    """Chooses which group member serves the next request."""
+
+    name = "base"
+
+    def choose(
+        self, members: Sequence[PeerId], load: Dict[PeerId, MemberLoad]
+    ) -> Optional[PeerId]:
+        """Pick one of ``members`` (the coordinator's live view) or None."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}>"
+
+
+class RoundRobinDispatch(DispatchPolicy):
+    """Blind rotation over the member view (the seed's behaviour)."""
+
+    name = "round-robin"
+
+    def __init__(self):
+        self._cursor = 0
+
+    def choose(
+        self, members: Sequence[PeerId], load: Dict[PeerId, MemberLoad]
+    ) -> Optional[PeerId]:
+        if not members:
+            return None
+        choice = members[self._cursor % len(members)]
+        self._cursor += 1
+        return choice
+
+
+class LeastOutstandingDispatch(DispatchPolicy):
+    """Send to the member with the fewest requests in flight.
+
+    Ties break on the stable member ordering (sorted peer ids), so runs
+    are deterministic; a member the ledger has never seen counts as idle.
+    """
+
+    name = "least-outstanding"
+
+    def choose(
+        self, members: Sequence[PeerId], load: Dict[PeerId, MemberLoad]
+    ) -> Optional[PeerId]:
+        if not members:
+            return None
+        return min(
+            members,
+            key=lambda member: (
+                load[member].outstanding if member in load else 0,
+                str(member),
+            ),
+        )
+
+
+class QosWeightedDispatch(DispatchPolicy):
+    """Rank members by reported QoS, inflated by current backlog.
+
+    Each member's effective response time is its reported QoS time scaled
+    by ``1 + outstanding`` (an M/M/1-ish expected-wait proxy); the
+    member ranking then reuses the §2.4 SAW selector over
+    time/cost/reliability, so an unreliable-but-idle member can still
+    lose to a reliable one with a short queue.
+    """
+
+    name = "qos"
+
+    def __init__(self, selector: Optional[QosSelector] = None):
+        self.selector = selector or QosSelector()
+        #: Prior for members that have not reported yet.
+        self.default_qos = QosMetrics(time=0.05, cost=1.0, reliability=1.0)
+
+    def choose(
+        self, members: Sequence[PeerId], load: Dict[PeerId, MemberLoad]
+    ) -> Optional[PeerId]:
+        if not members:
+            return None
+        candidates: Dict[PeerId, QosMetrics] = {}
+        for member in members:
+            state = load.get(member)
+            qos = state.qos if state is not None and state.qos is not None else self.default_qos
+            outstanding = state.outstanding if state is not None else 0
+            candidates[member] = QosMetrics(
+                time=qos.time * (1 + outstanding),
+                cost=qos.cost,
+                reliability=qos.reliability,
+            )
+        return self.selector.select(candidates)
+
+
+#: Policy registry for string specs (config files, CLI flags).
+DISPATCH_POLICIES = {
+    RoundRobinDispatch.name: RoundRobinDispatch,
+    LeastOutstandingDispatch.name: LeastOutstandingDispatch,
+    QosWeightedDispatch.name: QosWeightedDispatch,
+}
+
+DispatchSpec = Union[str, DispatchPolicy, None]
+
+
+def dispatch_policy(spec: DispatchSpec) -> DispatchPolicy:
+    """Resolve a policy name / instance / None into a policy object.
+
+    Policies are stateful (cursors), so each coordinator gets its own
+    instance — pass a name (or None for the round-robin default) unless
+    you deliberately want shared state.
+    """
+    if spec is None:
+        return RoundRobinDispatch()
+    if isinstance(spec, DispatchPolicy):
+        return spec
+    try:
+        return DISPATCH_POLICIES[spec]()
+    except KeyError:
+        raise ValueError(
+            f"unknown dispatch policy {spec!r}; "
+            f"expected one of {sorted(DISPATCH_POLICIES)}"
+        ) from None

@@ -44,6 +44,7 @@ from ..wsdl.schema import SchemaError
 from .bpeer import COORD_HANDLER, PROTO_EXEC, PROTO_EXEC_REPLY, ExecReply, ExecRequest
 from .errors import InvocationFailedError, NoCoordinatorError, NoMatchingGroupError
 from .matching import GroupMatch, SemanticGroupMatcher
+from .result import InvokeOutcome, InvokeResult
 from .retry import Deadline, RetryPolicy
 from .sws import SemanticWebService
 
@@ -69,6 +70,11 @@ class ProxyStats:
     stale_results_discarded: int = 0
     #: Invocations abandoned because the per-request deadline ran out.
     deadline_exhausted: int = 0
+    #: ``busy`` replies received — the back-end shed load on us.
+    shed: int = 0
+    #: Sheds whose retry-after hint we slept on before retrying (the
+    #: remainder arrived with the deadline already exhausted).
+    retry_after_honored: int = 0
     #: Durations (seconds, start to completion) of invocations that
     #: needed recovery — i.e. the proxy's observed failover times.
     failover_durations: List[float] = field(default_factory=list)
@@ -311,10 +317,14 @@ class SwsProxy(Peer):
     ) -> Generator:
         """Execute ``operation`` on the b-peer back-end (``yield from``).
 
-        Returns the (translated) result value; raises
-        :class:`~repro.soap.fault.SoapFault` for application errors,
-        :class:`NoMatchingGroupError` / :class:`InvocationFailedError` for
-        system-level failures the retries could not mask.
+        Returns an :class:`~repro.core.result.InvokeResult` — the
+        translated value plus how the call went (outcome, attempts,
+        epoch, duration, trace id); raises
+        :class:`~repro.soap.fault.SoapFault` for application errors
+        (including ``Server.Busy`` when overload shedding outlasted the
+        request's deadline), :class:`NoMatchingGroupError` /
+        :class:`InvocationFailedError` for system-level failures the
+        retries could not mask.
 
         ``timeout`` caps one send-and-wait attempt; ``budget`` (defaulting
         to ``deadline_budget``) caps the whole request including retries —
@@ -332,12 +342,12 @@ class SwsProxy(Peer):
             f"{self.sws.name}.{operation}", self.stats.invocations, self.env.now
         )
         try:
-            value = yield from self._invoke(operation, arguments, timeout, budget, rtrace)
+            result = yield from self._invoke(operation, arguments, timeout, budget, rtrace)
         except BaseException as error:
             self.obs.finish_request(rtrace, self.env.now, status=type(error).__name__)
             raise
         self.obs.finish_request(rtrace, self.env.now, status="ok")
-        return value
+        return result
 
     def _invoke(
         self,
@@ -372,6 +382,11 @@ class SwsProxy(Peer):
         attempt = 0
         #: Retries (failed tries) so far — drives the backoff exponent.
         failures = 0
+        #: ``busy`` replies absorbed so far, and whether the most recent
+        #: failure signal was a shed (drives the terminal fault's shape).
+        shed_retries = 0
+        busy_was_last = False
+        last_busy_hint: Optional[float] = None
 
         def enter_recovery(reason: str) -> None:
             nonlocal recovered, recover_span, recover_reason
@@ -394,6 +409,12 @@ class SwsProxy(Peer):
                     recover_span.finish(
                         self.env.now, reason=recover_reason, attempts=attempt
                     )
+                if busy_was_last:
+                    raise SoapFault.server_busy(
+                        f"{self.sws.name}.{operation} shed by overload control "
+                        f"({shed_retries} busy replies in {attempt} attempts)",
+                        retry_after=last_busy_hint,
+                    )
                 raise InvocationFailedError(
                     f"{self.sws.name}.{operation} failed after "
                     f"{self.max_attempts} attempts"
@@ -406,11 +427,18 @@ class SwsProxy(Peer):
                     recover_span.finish(
                         self.env.now, reason=recover_reason, attempts=attempt
                     )
+                if busy_was_last:
+                    raise SoapFault.server_busy(
+                        f"{self.sws.name}.{operation} shed by overload control "
+                        f"(deadline exhausted after {shed_retries} busy replies)",
+                        retry_after=last_busy_hint,
+                    )
                 raise InvocationFailedError(
                     f"{self.sws.name}.{operation} deadline exhausted after "
                     f"{self.env.now - started_at:.3f}s ({attempt} attempts)"
                 )
             attempt += 1
+            busy_was_last = False
             binding = self._bindings.get(group_id)
             if binding is None:
                 bind_span = rtrace.begin("bind", self.env.now)
@@ -470,7 +498,45 @@ class SwsProxy(Peer):
                     recover_span.finish(
                         self.env.now, reason=recover_reason, attempts=attempt
                     )
-                return self._translate(operation, reply.value)
+                if recovered:
+                    outcome = InvokeOutcome.RECOVERED
+                elif shed_retries:
+                    outcome = InvokeOutcome.RETRIED_AFTER_SHED
+                else:
+                    outcome = InvokeOutcome.OK
+                return InvokeResult(
+                    value=self._translate(operation, reply.value),
+                    outcome=outcome,
+                    epoch=reply.epoch,
+                    attempts=attempt,
+                    duration=self.env.now - started_at,
+                    trace_id=rtrace.request_id,
+                    served_by=reply.served_by,
+                    shed_retries=shed_retries,
+                )
+            if reply.kind == "busy":
+                # Overload shed: the coordinator is alive but refusing
+                # load, so keep the binding and retry *later* — the
+                # retry-after hint (when it fits the deadline) replaces
+                # the generic backoff.
+                invoke_span.finish(self.env.now, outcome="busy")
+                self.stats.shed += 1
+                self.obs.metrics.inc("proxy.shed")
+                shed_retries += 1
+                failures += 1
+                busy_was_last = True
+                last_busy_hint = reply.retry_after
+                profile.record_failure()
+                remaining = deadline.remaining(self.env.now)
+                if reply.retry_after is not None and remaining > 0.0:
+                    self.stats.retry_after_honored += 1
+                    self.obs.metrics.inc("proxy.retry_after_honored")
+                    delay = min(reply.retry_after, remaining)
+                    if delay > 0.0:
+                        yield self.env.timeout(delay)
+                else:
+                    yield from backoff()
+                continue
             if reply.kind == "fault":
                 invoke_span.finish(self.env.now, outcome="fault")
                 self.stats.faults += 1

@@ -9,7 +9,7 @@ paper's Figures 1–3.  Examples and benchmarks build on this facade.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Generator, List, Optional
 
 from ..backend.datasets import student_database
 from ..backend.services import (
@@ -34,7 +34,9 @@ from ..soap.client import SoapClient
 from ..wsdl.definitions import Definitions
 from ..wsdl.samples import student_management_wsdl
 from .bpeer_group import BPeerGroup, deploy_bpeer_group
+from .config import ScenarioConfig
 from .proxy import SwsProxy
+from .result import InvokeResult
 from .sws import SemanticWebService
 from .webservice import PlainWebService, WhisperWebService
 
@@ -73,46 +75,78 @@ class DeployedService:
     def group_for(self, operation: str) -> BPeerGroup:
         return self.groups[operation]
 
+    def invoke(
+        self, operation: str, arguments: Dict[str, Any]
+    ) -> Generator[Any, Any, InvokeResult]:
+        """Invoke through the SWS-proxy; returns a typed
+        :class:`~repro.core.result.InvokeResult` (``.value`` holds the
+        bare payload).  Convenience for tests/benchmarks that do not
+        need the SOAP wire."""
+        result = yield from self.proxy.invoke(operation, arguments)
+        return result
+
 
 class WhisperSystem:
     """A complete Whisper deployment on one simulated LAN."""
 
     def __init__(
         self,
-        seed: int = 0,
+        config: Optional[ScenarioConfig] = None,
+        *,
         ontology: Optional[Ontology] = None,
-        heartbeat_interval: float = 1.0,
-        miss_threshold: int = 3,
-        min_degree: DegreeOfMatch = DegreeOfMatch.EXACT,
-        load_sharing: bool = False,
-        record_trace_details: bool = False,
-        observability: bool = True,
+        **legacy: Any,
     ):
+        """Build a deployment from one :class:`ScenarioConfig`.
+
+        The pre-redesign scattered keyword arguments (``seed=...``,
+        ``heartbeat_interval=...``, ...) still work as a deprecated shim:
+        they override the matching config fields and warn.
+        """
+        self.config = ScenarioConfig.from_legacy_kwargs(
+            config, legacy, "WhisperSystem"
+        )
         self.env = Environment()
-        self.trace = MessageTrace(record_details=record_trace_details)
+        self.trace = MessageTrace(record_details=self.config.record_trace_details)
         #: Request-scoped tracing + metrics (§5's per-phase attribution).
         #: Purely in-process: enabling it sends no extra messages, so the
         #: Figure-4 counts are identical either way; disabling it turns
         #: every instrumentation hook into a near-zero-cost no-op.
-        self.obs = Observability(enabled=observability)
-        if observability:
+        self.obs = Observability(enabled=self.config.observability)
+        if self.config.observability:
             self.trace.metrics = self.obs.metrics
         self.network = Network(
-            self.env, trace=self.trace, rng=RngRegistry(seed), obs=self.obs
+            self.env,
+            trace=self.trace,
+            rng=RngRegistry(self.config.seed),
+            obs=self.obs,
         )
         self.failures = FailureInjector(self.network)
         self.ontology = ontology if ontology is not None else b2b_ontology()
         self.reasoner = Reasoner(self.ontology)
         self.matcher = ConceptMatcher(self.reasoner)
-        self.heartbeat_interval = heartbeat_interval
-        self.miss_threshold = miss_threshold
-        self.min_degree = min_degree
-        self.load_sharing = load_sharing
         self.services: Dict[str, DeployedService] = {}
 
         rdv_node = self.network.add_host("rdv0")
         self.rendezvous = Peer(rdv_node, is_rendezvous=True)
         self.rendezvous.publish_self(remote=False)
+
+    # -- config passthroughs (read-only compat accessors) ------------------------------
+
+    @property
+    def heartbeat_interval(self) -> float:
+        return self.config.heartbeat_interval
+
+    @property
+    def miss_threshold(self) -> int:
+        return self.config.miss_threshold
+
+    @property
+    def min_degree(self) -> DegreeOfMatch:
+        return self.config.min_degree
+
+    @property
+    def load_sharing(self) -> bool:
+        return self.config.load_sharing
 
     # -- deployment ------------------------------------------------------------------
 
@@ -122,8 +156,8 @@ class WhisperSystem:
         implementations,
         web_host: Optional[str] = None,
         group_name: Optional[str] = None,
-        request_timeout: float = 2.0,
-        max_attempts: int = 8,
+        config: Optional[ScenarioConfig] = None,
+        **legacy: Any,
     ) -> DeployedService:
         """Deploy one semantic Web service backed by b-peer group(s).
 
@@ -132,7 +166,17 @@ class WhisperSystem:
         the service's *first* operation — the common case) or a mapping
         ``{operation_name: [implementations]}`` for multi-operation
         services, which get one b-peer group per operation.
+
+        ``config`` overrides the system-wide scenario for this service
+        (dispatch policy, queue bound, proxy budgets, ...); legacy
+        ``request_timeout=`` / ``max_attempts=`` keywords still work as a
+        deprecated shim.
         """
+        scenario = ScenarioConfig.from_legacy_kwargs(
+            config if config is not None else self.config,
+            legacy,
+            "deploy_service",
+        )
         sws = SemanticWebService(definitions, self.ontology)
         if isinstance(implementations, dict):
             per_operation = dict(implementations)
@@ -154,9 +198,11 @@ class WhisperSystem:
                 annotation=annotation,
                 implementations=operation_impls,
                 ontology_uri=self.ontology.uri,
-                heartbeat_interval=self.heartbeat_interval,
-                miss_threshold=self.miss_threshold,
-                load_sharing=self.load_sharing,
+                heartbeat_interval=scenario.heartbeat_interval,
+                miss_threshold=scenario.miss_threshold,
+                load_sharing=scenario.load_sharing,
+                dispatch=scenario.dispatch,
+                queue_bound=scenario.queue_bound,
             )
 
         host_name = web_host or f"web-{sws.name}"
@@ -165,9 +211,10 @@ class WhisperSystem:
             web_node,
             sws,
             self.matcher,
-            min_degree=self.min_degree,
-            request_timeout=request_timeout,
-            max_attempts=max_attempts,
+            min_degree=scenario.min_degree,
+            request_timeout=scenario.request_timeout,
+            max_attempts=scenario.max_attempts,
+            deadline_budget=scenario.deadline_budget,
         )
         proxy.attach_to(self.rendezvous)
         proxy.publish_self(remote=False)
@@ -202,10 +249,8 @@ class WhisperSystem:
 
     def deploy_student_service(
         self,
-        replicas: int = 4,
-        students: int = 200,
-        warehouse_every: int = 2,
-        **deploy_kwargs,
+        config: Optional[ScenarioConfig] = None,
+        **legacy: Any,
     ) -> DeployedService:
         """The paper's running example, with alternating backend flavours.
 
@@ -214,27 +259,45 @@ class WhisperSystem:
         the §4.1 DB→warehouse failover is exercised out of the box.
         Replicas get independent copies of the operational store so a
         backend failure can be injected per-replica.
+
+        Sizing and budgets come from the :class:`ScenarioConfig`
+        (``replicas`` / ``students`` / ``warehouse_every`` plus the proxy
+        budgets); legacy keyword arguments still work as a deprecated
+        shim.
         """
-        if replicas < 1:
+        scenario = ScenarioConfig.from_legacy_kwargs(
+            config if config is not None else self.config,
+            legacy,
+            "deploy_student_service",
+        )
+        if scenario.replicas < 1:
             raise ValueError("need at least one replica")
         implementations: List[ServiceImplementation] = []
-        master = student_database(students)
+        master = student_database(scenario.students)
         warehouse = build_warehouse(master)
-        for index in range(replicas):
-            if warehouse_every and index % warehouse_every == 1:
+        for index in range(scenario.replicas):
+            if scenario.warehouse_every and index % scenario.warehouse_every == 1:
                 implementations.append(student_lookup_warehouse(warehouse))
             else:
-                replica_db = student_database(students)
+                replica_db = student_database(scenario.students)
                 implementations.append(student_lookup_operational(replica_db))
         return self.deploy_service(
-            student_management_wsdl(), implementations, web_host="web0",
-            **deploy_kwargs,
+            student_management_wsdl(),
+            implementations,
+            web_host="web0",
+            config=scenario,
         )
 
     # -- simulation control ---------------------------------------------------------------
 
-    def settle(self, duration: float = 2.0) -> None:
-        """Let leases, joins, SRDI pushes, and the first election finish."""
+    def settle(self, duration: Optional[float] = None) -> None:
+        """Let leases, joins, SRDI pushes, and the first election finish.
+
+        Without an explicit ``duration`` the config's ``settle`` window is
+        used, so sweeps tune it in one place.
+        """
+        if duration is None:
+            duration = self.config.settle
         self.env.run(until=self.env.now + duration)
 
     def run_until(self, time: float) -> None:
@@ -290,6 +353,7 @@ class WhisperSystem:
                     "alive": len(group.alive_peers()),
                     "coordinator": coordinator.name if coordinator else None,
                     "requests_executed": group.total_requests_executed(),
+                    "requests_shed": group.total_requests_shed(),
                     "replica_qos": replicas_qos,
                 }
             stats = deployed.proxy.stats
@@ -302,6 +366,8 @@ class WhisperSystem:
                     "faults": stats.faults,
                     "timeouts": stats.timeouts,
                     "rebinds": stats.rebinds,
+                    "shed": stats.shed,
+                    "retry_after_honored": stats.retry_after_honored,
                 },
             }
         return {

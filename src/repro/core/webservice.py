@@ -81,6 +81,9 @@ class WhisperWebService:
         try:
             result = yield from self.proxy.invoke(operation, arguments)
         except SoapFault:
+            # Application faults — and overload sheds (``Server.Busy``,
+            # with the retry-after hint in the fault detail) — pass
+            # through with their code intact.
             raise
         except NoMatchingGroupError as error:
             raise SoapFault.server(f"no back-end available: {error}") from error
@@ -88,7 +91,9 @@ class WhisperWebService:
             raise SoapFault.server(f"back-end unreachable: {error}") from error
         except WhisperError as error:
             raise SoapFault.server(str(error)) from error
-        return result
+        # The wire carries the bare value; the typed InvokeResult is a
+        # proxy-level (in-process) affordance.
+        return result.value
 
 
 class PlainWebService:

@@ -22,6 +22,9 @@ class FaultCode:
     MUST_UNDERSTAND = "MustUnderstand"
     CLIENT = "Client"
     SERVER = "Server"
+    #: Dotted subcode (SOAP 1.1 idiom): the server is up but shedding
+    #: load; the fault detail carries a retry-after hint in seconds.
+    SERVER_BUSY = "Server.Busy"
 
 
 class SoapFault(Exception):
@@ -47,6 +50,30 @@ class SoapFault(Exception):
     @classmethod
     def server(cls, message: str, detail: Any = None) -> "SoapFault":
         return cls(FaultCode.SERVER, message, detail)
+
+    @classmethod
+    def server_busy(
+        cls, message: str, retry_after: Optional[float] = None
+    ) -> "SoapFault":
+        """An overload shed: retryable, with an optional ETA hint."""
+        detail = {"retry_after": retry_after} if retry_after is not None else None
+        return cls(FaultCode.SERVER_BUSY, message, detail)
+
+    @property
+    def is_busy(self) -> bool:
+        """True for overload sheds (``Server.Busy`` and subcodes of it)."""
+        return self.faultcode == FaultCode.SERVER_BUSY or self.faultcode.startswith(
+            FaultCode.SERVER_BUSY + "."
+        )
+
+    @property
+    def retry_after(self) -> Optional[float]:
+        """The shed's retry-after hint in seconds, when present."""
+        if isinstance(self.detail, dict):
+            hint = self.detail.get("retry_after")
+            if isinstance(hint, (int, float)):
+                return float(hint)
+        return None
 
     def __repr__(self) -> str:
         return f"SoapFault({self.faultcode!r}, {self.faultstring!r})"

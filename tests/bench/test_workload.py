@@ -3,13 +3,13 @@
 import pytest
 
 from repro.bench import ClosedLoopWorkload, PoissonWorkload
-from repro.core import WhisperSystem
+from repro.core import ScenarioConfig, WhisperSystem
 
 
 @pytest.fixture
 def deployment():
-    system = WhisperSystem(seed=21)
-    service = system.deploy_student_service(replicas=3)
+    system = WhisperSystem(ScenarioConfig(seed=21))
+    service = system.deploy_student_service(system.config.replace(replicas=3))
     system.settle(6.0)
     return system, service
 
@@ -81,8 +81,8 @@ class TestPoisson:
 
     def test_deterministic_given_seed(self):
         def run_once():
-            system = WhisperSystem(seed=33)
-            service = system.deploy_student_service(replicas=2)
+            system = WhisperSystem(ScenarioConfig(seed=33))
+            service = system.deploy_student_service(system.config.replace(replicas=2))
             system.settle(6.0)
             workload = PoissonWorkload(
                 system, service.address, service.path, "StudentInformation",

@@ -3,13 +3,13 @@
 import pytest
 
 from repro.backend import student_database, student_lookup_operational
-from repro.core import FailoverSoapClient, ReplicatedPlainService, WhisperSystem
+from repro.core import FailoverSoapClient, ReplicatedPlainService, ScenarioConfig, WhisperSystem
 from repro.soap import RequestTimeout, SoapFault
 
 
 @pytest.fixture
 def deployment():
-    system = WhisperSystem(seed=41)
+    system = WhisperSystem(ScenarioConfig(seed=41))
     replicated = ReplicatedPlainService(
         system,
         "StudentManagement",

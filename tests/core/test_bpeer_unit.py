@@ -2,18 +2,18 @@
 
 import pytest
 
-from repro.core import WhisperSystem
+from repro.core import ScenarioConfig, WhisperSystem
 from repro.core.bpeer import COORD_HANDLER, PROTO_EXEC, ExecReply, ExecRequest
 
 
 @pytest.fixture
 def system():
-    return WhisperSystem(seed=61)
+    return WhisperSystem(ScenarioConfig(seed=61))
 
 
 @pytest.fixture
 def deployed(system):
-    service = system.deploy_student_service(replicas=3)
+    service = system.deploy_student_service(system.config.replace(replicas=3))
     system.settle(6.0)
     return service
 

@@ -2,12 +2,12 @@
 
 import pytest
 
-from repro.core import WhisperSystem
+from repro.core import ScenarioConfig, WhisperSystem
 
 
 def _run_scenario(seed):
-    system = WhisperSystem(seed=seed)
-    service = system.deploy_student_service(replicas=4)
+    system = WhisperSystem(ScenarioConfig(seed=seed))
+    service = system.deploy_student_service(system.config.replace(replicas=4))
     system.settle(6.0)
     node, client = system.add_client("det-client")
     latencies = []
@@ -47,8 +47,8 @@ class TestDeterminism:
         assert a["latencies"] != b["latencies"]
 
     def test_qos_profiles_populated(self):
-        system = WhisperSystem(seed=79)
-        service = system.deploy_student_service(replicas=2)
+        system = WhisperSystem(ScenarioConfig(seed=79))
+        service = system.deploy_student_service(system.config.replace(replicas=2))
         system.settle(6.0)
         node, client = system.add_client("qos-prof-client")
 

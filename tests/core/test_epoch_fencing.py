@@ -10,18 +10,18 @@ and the retry lands under the fresh term.
 
 import pytest
 
-from repro.core import WhisperSystem
+from repro.core import ScenarioConfig, WhisperSystem
 from repro.election import Epoch
 
 
 @pytest.fixture
 def system():
-    return WhisperSystem(seed=1106, heartbeat_interval=0.5, miss_threshold=2)
+    return WhisperSystem(ScenarioConfig(seed=1106, heartbeat_interval=0.5, miss_threshold=2))
 
 
 @pytest.fixture
 def deployed(system):
-    service = system.deploy_student_service(replicas=4)
+    service = system.deploy_student_service(system.config.replace(replicas=4))
     system.settle(6.0)
     return service
 
@@ -31,7 +31,9 @@ def _invoke(system, proxy, operation, arguments, **kwargs):
 
     def runner():
         try:
-            outcome["value"] = yield from proxy.invoke(operation, arguments, **kwargs)
+            result = yield from proxy.invoke(operation, arguments, **kwargs)
+            outcome["result"] = result
+            outcome["value"] = result.value
         except Exception as error:  # noqa: BLE001 - captured for assertions
             outcome["error"] = error
 

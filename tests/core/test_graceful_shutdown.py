@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import WhisperSystem
+from repro.core import ScenarioConfig, WhisperSystem
 from repro.soap import RequestTimeout, SoapFault
 
 
@@ -27,8 +27,8 @@ def _timed_call(system, service, client, student):
 
 class TestGracefulShutdown:
     def test_handoff_elects_successor_quickly(self):
-        system = WhisperSystem(seed=141)
-        service = system.deploy_student_service(replicas=3)
+        system = WhisperSystem(ScenarioConfig(seed=141))
+        service = system.deploy_student_service(system.config.replace(replicas=3))
         system.settle(6.0)
         old = service.group.coordinator_peer()
         old.shutdown()
@@ -41,8 +41,8 @@ class TestGracefulShutdown:
         assert {p.coordinator for p in alive} == {new.peer_id}
 
     def test_shutdown_peer_no_longer_member(self):
-        system = WhisperSystem(seed=142)
-        service = system.deploy_student_service(replicas=3)
+        system = WhisperSystem(ScenarioConfig(seed=142))
+        service = system.deploy_student_service(system.config.replace(replicas=3))
         system.settle(6.0)
         victim = service.group.coordinator_peer()
         victim.shutdown()
@@ -53,8 +53,8 @@ class TestGracefulShutdown:
 
     def test_graceful_much_faster_than_crash(self):
         def failover_elapsed(graceful: bool) -> float:
-            system = WhisperSystem(seed=143)
-            service = system.deploy_student_service(replicas=3)
+            system = WhisperSystem(ScenarioConfig(seed=143))
+            service = system.deploy_student_service(system.config.replace(replicas=3))
             system.settle(6.0)
             client = system.add_client("maint-client")
             _timed_call(system, service, client, "S00001")  # bind
@@ -74,8 +74,8 @@ class TestGracefulShutdown:
         assert graceful < crash / 2
 
     def test_requests_flow_to_successor(self):
-        system = WhisperSystem(seed=144)
-        service = system.deploy_student_service(replicas=3)
+        system = WhisperSystem(ScenarioConfig(seed=144))
+        service = system.deploy_student_service(system.config.replace(replicas=3))
         system.settle(6.0)
         client = system.add_client("flow-client")
         _timed_call(system, service, client, "S00001")
@@ -92,8 +92,8 @@ class TestGracefulShutdown:
 
     def test_rolling_maintenance_all_replicas(self):
         """Shut down and restart each replica in turn; service never lost."""
-        system = WhisperSystem(seed=145)
-        service = system.deploy_student_service(replicas=3)
+        system = WhisperSystem(ScenarioConfig(seed=145))
+        service = system.deploy_student_service(system.config.replace(replicas=3))
         system.settle(6.0)
         client = system.add_client("rolling-client")
         for index, peer in enumerate(list(service.group.peers)):

@@ -9,14 +9,14 @@ elections) across the whole horizon.
 
 import pytest
 
-from repro.core import WhisperSystem
+from repro.core import ScenarioConfig, WhisperSystem
 from repro.p2p.advertisement import DEFAULT_LIFETIME
 
 
 class TestLongevity:
     def test_service_survives_advertisement_expiry(self):
-        system = WhisperSystem(seed=131)
-        service = system.deploy_student_service(replicas=3)
+        system = WhisperSystem(ScenarioConfig(seed=131))
+        service = system.deploy_student_service(system.config.replace(replicas=3))
         system.settle(6.0)
         node, client = system.add_client("long-client")
         outcomes = []
@@ -42,8 +42,8 @@ class TestLongevity:
         assert service.proxy.stats.remote_discoveries <= 2
 
     def test_coordination_stable_over_hours(self):
-        system = WhisperSystem(seed=132)
-        service = system.deploy_student_service(replicas=3)
+        system = WhisperSystem(ScenarioConfig(seed=132))
+        service = system.deploy_student_service(system.config.replace(replicas=3))
         system.settle(10.0)
         baseline = [
             peer.coordinator_mgr.elector.stats.elections_started
@@ -60,8 +60,8 @@ class TestLongevity:
 
     def test_trace_counters_grow_linearly_with_time(self):
         """Maintenance traffic rate is constant: no leaks, no storms."""
-        system = WhisperSystem(seed=133)
-        system.deploy_student_service(replicas=3)
+        system = WhisperSystem(ScenarioConfig(seed=133))
+        system.deploy_student_service(system.config.replace(replicas=3))
         system.settle(10.0)
         system.reset_counters()
         system.run_until(system.env.now + 600.0)

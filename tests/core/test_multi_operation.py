@@ -7,14 +7,14 @@ from repro.backend import (
     student_enrollment,
     student_lookup_operational,
 )
-from repro.core import WhisperSystem
+from repro.core import ScenarioConfig, WhisperSystem
 from repro.soap import SoapFault
 from repro.wsdl import student_admin_wsdl
 
 
 @pytest.fixture
 def system():
-    return WhisperSystem(seed=91)
+    return WhisperSystem(ScenarioConfig(seed=91))
 
 
 @pytest.fixture

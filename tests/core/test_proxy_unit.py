@@ -2,19 +2,19 @@
 
 import pytest
 
-from repro.core import NoMatchingGroupError, WhisperSystem
+from repro.core import NoMatchingGroupError, ScenarioConfig, WhisperSystem
 from repro.core.bpeer import PROTO_EXEC, ExecReply
 from repro.soap import SoapFault
 
 
 @pytest.fixture
 def system():
-    return WhisperSystem(seed=51)
+    return WhisperSystem(ScenarioConfig(seed=51))
 
 
 @pytest.fixture
 def deployed(system):
-    service = system.deploy_student_service(replicas=3)
+    service = system.deploy_student_service(system.config.replace(replicas=3))
     system.settle(6.0)
     return service
 
@@ -24,7 +24,9 @@ def _invoke(system, proxy, operation, arguments, **kwargs):
 
     def runner():
         try:
-            outcome["value"] = yield from proxy.invoke(operation, arguments, **kwargs)
+            result = yield from proxy.invoke(operation, arguments, **kwargs)
+            outcome["result"] = result
+            outcome["value"] = result.value
         except Exception as error:  # noqa: BLE001 - captured for assertions
             outcome["error"] = error
 

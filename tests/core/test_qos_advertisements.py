@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import WhisperSystem
+from repro.core import ScenarioConfig, WhisperSystem
 from repro.core.bpeer_group import semantic_advertisement_for
 from repro.p2p import PeerGroupId, SemanticAdvertisement, advertisement_from_xml
 from repro.qos import QosMetrics
@@ -55,8 +55,8 @@ class TestQosAdvertisement:
 
 class TestProxyQosPrior:
     def test_advertised_qos_seeds_proxy_profile(self):
-        system = WhisperSystem(seed=31)
-        service = system.deploy_student_service(replicas=2)
+        system = WhisperSystem(ScenarioConfig(seed=31))
+        service = system.deploy_student_service(system.config.replace(replicas=2))
         proxy = service.proxy
         advertisement = semantic_advertisement_for(
             "grp-x", ANNOTATION, "http://onto",
@@ -69,15 +69,15 @@ class TestProxyQosPrior:
         assert snapshot.reliability == 0.5
 
     def test_unadvertised_group_gets_default_profile(self):
-        system = WhisperSystem(seed=31)
-        service = system.deploy_student_service(replicas=2)
+        system = WhisperSystem(ScenarioConfig(seed=31))
+        service = system.deploy_student_service(system.config.replace(replicas=2))
         advertisement = semantic_advertisement_for("grp-y", ANNOTATION, "http://onto")
         profile = service.proxy._profile_for(advertisement.key(), advertisement)
         assert profile.snapshot().reliability == 1.0
 
     def test_profile_persists_across_lookups(self):
-        system = WhisperSystem(seed=31)
-        service = system.deploy_student_service(replicas=2)
+        system = WhisperSystem(ScenarioConfig(seed=31))
+        service = system.deploy_student_service(system.config.replace(replicas=2))
         advertisement = semantic_advertisement_for("grp-z", ANNOTATION, "http://onto")
         first = service.proxy._profile_for(advertisement.key(), advertisement)
         first.record_success(0.123)
@@ -96,7 +96,7 @@ class TestProxyQosPrior:
         from repro.core.bpeer_group import deploy_bpeer_group
         from repro.wsdl import student_management_wsdl
 
-        system = WhisperSystem(seed=41)
+        system = WhisperSystem(ScenarioConfig(seed=41))
         sws = SemanticWebService(student_management_wsdl(), system.ontology)
         annotation = sws.annotation("StudentInformation")
         group = deploy_bpeer_group(
@@ -113,9 +113,10 @@ class TestProxyQosPrior:
         outcome = {}
 
         def runner():
-            outcome["value"] = yield from proxy.invoke(
+            result = yield from proxy.invoke(
                 "StudentInformation", {"ID": "S00001"}
             )
+            outcome["value"] = result.value
 
         system.env.run(until=node.spawn(runner()))
         assert "value" in outcome
@@ -134,8 +135,8 @@ class TestProxyQosPrior:
         from repro.core.bpeer_group import deploy_bpeer_group
         from repro.wsdl import student_management_wsdl
 
-        system = WhisperSystem(seed=37)
-        service = system.deploy_student_service(replicas=2)
+        system = WhisperSystem(ScenarioConfig(seed=37))
+        service = system.deploy_student_service(system.config.replace(replicas=2))
         annotation = service.sws.annotation("StudentInformation")
         # Replace the default group advertisement set with two QoS-annotated
         # competitors discovered by the proxy.

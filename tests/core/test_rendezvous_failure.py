@@ -9,7 +9,7 @@ rebuild the rendezvous state without operator intervention.
 
 import pytest
 
-from repro.core import WhisperSystem
+from repro.core import ScenarioConfig, WhisperSystem
 from repro.soap import RequestTimeout, SoapFault
 
 
@@ -32,8 +32,8 @@ def _call(system, service, arguments, client, timeout=60.0):
 
 class TestRendezvousFailure:
     def test_bound_proxy_survives_rdv_outage(self):
-        system = WhisperSystem(seed=95)
-        service = system.deploy_student_service(replicas=3)
+        system = WhisperSystem(ScenarioConfig(seed=95))
+        service = system.deploy_student_service(system.config.replace(replicas=3))
         system.settle(6.0)
         client = system.add_client("rdv-outage-client")
         _call(system, service, {"ID": "S00001"}, client)  # bind while healthy
@@ -42,8 +42,8 @@ class TestRendezvousFailure:
         assert "value" in outcome  # direct proxy->coordinator route survives
 
     def test_rdv_restart_rebuilds_srdi(self):
-        system = WhisperSystem(seed=96)
-        service = system.deploy_student_service(replicas=3)
+        system = WhisperSystem(ScenarioConfig(seed=96))
+        service = system.deploy_student_service(system.config.replace(replicas=3))
         system.settle(6.0)
         system.rendezvous.node.crash()
         assert len(system.rendezvous.rendezvous.srdi) == 0
@@ -65,8 +65,8 @@ class TestRendezvousFailure:
         from repro.core import SemanticWebService, SwsProxy
         from repro.wsdl import student_management_wsdl
 
-        system = WhisperSystem(seed=97)
-        service = system.deploy_student_service(replicas=3)
+        system = WhisperSystem(ScenarioConfig(seed=97))
+        service = system.deploy_student_service(system.config.replace(replicas=3))
         system.settle(6.0)
         system.rendezvous.node.crash()
         system.settle(5.0)
@@ -82,9 +82,10 @@ class TestRendezvousFailure:
 
         def runner():
             try:
-                outcome["value"] = yield from proxy.invoke(
+                result = yield from proxy.invoke(
                     "StudentInformation", {"ID": "S00003"}
                 )
+                outcome["value"] = result.value
             except Exception as error:  # noqa: BLE001
                 outcome["error"] = error
 
@@ -94,8 +95,8 @@ class TestRendezvousFailure:
     def test_membership_registry_rebuilt_after_restart(self):
         from repro.p2p.peergroup import ANNOUNCE_PERIOD
 
-        system = WhisperSystem(seed=98)
-        service = system.deploy_student_service(replicas=3)
+        system = WhisperSystem(ScenarioConfig(seed=98))
+        service = system.deploy_student_service(system.config.replace(replicas=3))
         system.settle(6.0)
         system.rendezvous.node.crash()
         system.rendezvous.node.restart()

@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.core import Deadline, RetryPolicy, WhisperSystem
+from repro.core import Deadline, RetryPolicy, ScenarioConfig, WhisperSystem
 from repro.core.errors import InvocationFailedError
 
 
@@ -57,8 +57,8 @@ class TestProxyDeadline:
     def test_invoke_fails_fast_when_budget_exhausted(self):
         """With every replica down, the proxy must give up once the
         request budget runs out — not after a fixed attempt count."""
-        system = WhisperSystem(seed=77, heartbeat_interval=0.5, miss_threshold=2)
-        service = system.deploy_student_service(replicas=3)
+        system = WhisperSystem(ScenarioConfig(seed=77, heartbeat_interval=0.5, miss_threshold=2))
+        service = system.deploy_student_service(system.config.replace(replicas=3))
         system.settle(6.0)
         for peer in service.group.peers:
             peer.node.crash()
@@ -68,9 +68,10 @@ class TestProxyDeadline:
 
         def runner():
             try:
-                outcome["value"] = yield from proxy.invoke(
+                result = yield from proxy.invoke(
                     "StudentInformation", {"ID": "S00001"}, budget=3.0
                 )
+                outcome["value"] = result.value
             except Exception as error:  # noqa: BLE001 - captured for assertions
                 outcome["error"] = error
 

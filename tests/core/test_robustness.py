@@ -8,7 +8,7 @@ provides.
 
 import pytest
 
-from repro.core import WhisperSystem
+from repro.core import ScenarioConfig, WhisperSystem
 from repro.soap import RequestTimeout, SoapFault
 
 
@@ -33,8 +33,8 @@ class TestMessageLoss:
     def test_service_survives_moderate_loss(self):
         """10% uniform message loss: heartbeats, renewals, and proxy
         retries absorb it."""
-        system = WhisperSystem(seed=81)
-        service = system.deploy_student_service(replicas=3)
+        system = WhisperSystem(ScenarioConfig(seed=81))
+        service = system.deploy_student_service(system.config.replace(replicas=3))
         system.settle(6.0)
         system.network.loss_rate = 0.10
         client = system.add_client("lossy-client")
@@ -49,8 +49,8 @@ class TestMessageLoss:
         assert successes == 10
 
     def test_loss_during_failover_still_recovers(self):
-        system = WhisperSystem(seed=82, heartbeat_interval=0.5, miss_threshold=2)
-        service = system.deploy_student_service(replicas=4)
+        system = WhisperSystem(ScenarioConfig(seed=82, heartbeat_interval=0.5, miss_threshold=2))
+        service = system.deploy_student_service(system.config.replace(replicas=4))
         system.settle(6.0)
         client = system.add_client("lossy-failover-client")
         _call(system, service, {"ID": "S00001"}, client)
@@ -62,8 +62,8 @@ class TestMessageLoss:
         assert "value" in outcome
 
     def test_total_loss_means_silence(self):
-        system = WhisperSystem(seed=83)
-        service = system.deploy_student_service(replicas=2)
+        system = WhisperSystem(ScenarioConfig(seed=83))
+        service = system.deploy_student_service(system.config.replace(replicas=2))
         system.settle(6.0)
         system.network.loss_rate = 1.0
         client = system.add_client("dead-net-client")
@@ -73,8 +73,8 @@ class TestMessageLoss:
 
 class TestPartitions:
     def test_partitioned_bpeers_recover_after_heal(self):
-        system = WhisperSystem(seed=84, heartbeat_interval=0.5, miss_threshold=2)
-        service = system.deploy_student_service(replicas=3)
+        system = WhisperSystem(ScenarioConfig(seed=84, heartbeat_interval=0.5, miss_threshold=2))
+        service = system.deploy_student_service(system.config.replace(replicas=3))
         system.settle(6.0)
         client = system.add_client("partition-client")
         _call(system, service, {"ID": "S00001"}, client)
@@ -93,8 +93,8 @@ class TestPartitions:
 
     def test_minority_partition_of_group_masked(self):
         """One b-peer cut off: the rest of the group keeps serving."""
-        system = WhisperSystem(seed=85, heartbeat_interval=0.5, miss_threshold=2)
-        service = system.deploy_student_service(replicas=4)
+        system = WhisperSystem(ScenarioConfig(seed=85, heartbeat_interval=0.5, miss_threshold=2))
+        service = system.deploy_student_service(system.config.replace(replicas=4))
         system.settle(6.0)
         client = system.add_client("minority-client")
         _call(system, service, {"ID": "S00001"}, client)
@@ -113,8 +113,8 @@ class TestNatRelay:
         §5 claim that the transport traverses NAT with relay peers."""
         from repro.p2p import attach_nat_peer
 
-        system = WhisperSystem(seed=86)
-        service = system.deploy_student_service(replicas=3)
+        system = WhisperSystem(ScenarioConfig(seed=86))
+        service = system.deploy_student_service(system.config.replace(replicas=3))
         system.settle(6.0)
         # Re-wire one non-coordinator member as NAT-isolated, relayed by
         # the rendezvous.

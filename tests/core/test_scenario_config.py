@@ -1,0 +1,153 @@
+"""Tests for the ScenarioConfig redesign and its legacy-kwargs shims."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import (
+    InvokeOutcome,
+    InvokeResult,
+    ScenarioConfig,
+    WhisperSystem,
+)
+
+
+class TestScenarioConfig:
+    def test_replace_returns_modified_copy(self):
+        base = ScenarioConfig(seed=7)
+        tuned = base.replace(replicas=8, queue_bound=4)
+        assert tuned.replicas == 8
+        assert tuned.queue_bound == 4
+        assert tuned.seed == 7
+        assert base.replicas == 4  # original untouched
+
+    def test_config_is_frozen(self):
+        config = ScenarioConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.seed = 9
+
+    def test_from_legacy_kwargs_overrides_base(self):
+        base = ScenarioConfig(seed=3, replicas=2)
+        with pytest.warns(DeprecationWarning, match="ScenarioConfig"):
+            merged = ScenarioConfig.from_legacy_kwargs(
+                base, {"replicas": 6, "load_sharing": True}, "test"
+            )
+        assert merged.replicas == 6
+        assert merged.load_sharing is True
+        assert merged.seed == 3
+
+    def test_from_legacy_kwargs_filters_none(self):
+        """None means "not supplied" for the old default-None kwargs."""
+        base = ScenarioConfig(replicas=5)
+        merged = ScenarioConfig.from_legacy_kwargs(
+            base, {"replicas": None, "students": None}, "test"
+        )
+        assert merged is base  # nothing supplied, no warning, no copy
+
+    def test_from_legacy_kwargs_rejects_unknown(self):
+        with pytest.raises(TypeError, match="bogus_knob"):
+            ScenarioConfig.from_legacy_kwargs(None, {"bogus_knob": 1}, "test")
+
+
+class TestLegacyShims:
+    def test_system_legacy_kwargs_warn_and_apply(self):
+        with pytest.warns(DeprecationWarning, match="WhisperSystem"):
+            system = WhisperSystem(seed=11, heartbeat_interval=0.25)
+        assert system.config.seed == 11
+        assert system.config.heartbeat_interval == 0.25
+        assert system.heartbeat_interval == 0.25  # compat property
+
+    def test_deploy_student_service_legacy_kwargs(self):
+        system = WhisperSystem(ScenarioConfig(seed=61))
+        with pytest.warns(DeprecationWarning, match="deploy_student_service"):
+            service = system.deploy_student_service(replicas=2)
+        assert len(service.group.peers) == 2
+
+    def test_deploy_student_service_unknown_kwarg_raises(self):
+        system = WhisperSystem(ScenarioConfig(seed=61))
+        with pytest.raises(TypeError):
+            system.deploy_student_service(replica_count=2)
+
+    def test_config_object_is_the_new_path(self):
+        """The redesigned API takes a config and emits no warnings."""
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            system = WhisperSystem(ScenarioConfig(seed=62, replicas=2))
+            service = system.deploy_student_service()
+        assert len(service.group.peers) == 2
+        assert service.proxy.request_timeout == system.config.request_timeout
+
+    def test_deploy_config_reaches_proxy_budgets(self):
+        system = WhisperSystem(ScenarioConfig(seed=63))
+        service = system.deploy_student_service(
+            system.config.replace(
+                replicas=2, request_timeout=0.7, max_attempts=3, deadline_budget=9.0
+            )
+        )
+        proxy = service.proxy
+        assert proxy.request_timeout == 0.7
+        assert proxy.max_attempts == 3
+        assert proxy.deadline_budget == 9.0
+
+    def test_settle_default_comes_from_config(self):
+        system = WhisperSystem(ScenarioConfig(seed=64, settle=1.5))
+        before = system.env.now
+        system.settle()
+        assert system.env.now - before == pytest.approx(1.5)
+
+
+class TestInvokeResult:
+    def test_result_is_frozen(self):
+        result = InvokeResult(
+            value={"x": 1}, outcome=InvokeOutcome.OK, epoch=None,
+            attempts=1, duration=0.01, trace_id=5,
+        )
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            result.attempts = 2
+
+    def test_recovered_property_tracks_outcome(self):
+        kwargs = dict(value=None, epoch=None, attempts=2, duration=0.1, trace_id=1)
+        assert InvokeResult(outcome=InvokeOutcome.RECOVERED, **kwargs).recovered
+        assert not InvokeResult(outcome=InvokeOutcome.OK, **kwargs).recovered
+        assert not InvokeResult(
+            outcome=InvokeOutcome.RETRIED_AFTER_SHED, **kwargs
+        ).recovered
+
+    def test_invoke_returns_typed_result(self):
+        system = WhisperSystem(ScenarioConfig(seed=65, replicas=2))
+        service = system.deploy_student_service()
+        system.settle()
+        outcome = {}
+
+        def runner():
+            outcome["result"] = yield from service.proxy.invoke(
+                "StudentInformation", {"ID": "S00001"}
+            )
+
+        system.env.run(until=service.proxy.node.spawn(runner()))
+        result = outcome["result"]
+        assert isinstance(result, InvokeResult)
+        assert result.value["studentId"] == "S00001"
+        assert result.outcome is InvokeOutcome.OK
+        assert result.attempts == 1
+        assert result.shed_retries == 0
+        assert result.epoch is not None
+        assert result.duration > 0
+        assert isinstance(result.trace_id, int)
+
+    def test_deployed_service_invoke_wraps_proxy(self):
+        system = WhisperSystem(ScenarioConfig(seed=66, replicas=2))
+        service = system.deploy_student_service()
+        system.settle()
+        outcome = {}
+
+        def runner():
+            outcome["result"] = yield from service.invoke(
+                "StudentInformation", {"ID": "S00002"}
+            )
+
+        system.env.run(until=service.proxy.node.spawn(runner()))
+        assert outcome["result"].value["studentId"] == "S00002"
+        assert outcome["result"].outcome is InvokeOutcome.OK

@@ -2,15 +2,15 @@
 
 import pytest
 
-from repro.core import WhisperSystem
+from repro.core import ScenarioConfig, WhisperSystem
 from repro.simnet import Message, MessageTrace
 
 
 class TestStatusReport:
     @pytest.fixture
     def system(self):
-        sys_ = WhisperSystem(seed=99)
-        sys_.deploy_student_service(replicas=3)
+        sys_ = WhisperSystem(ScenarioConfig(seed=99))
+        sys_.deploy_student_service(sys_.config.replace(replicas=3))
         sys_.settle(6.0)
         return sys_
 

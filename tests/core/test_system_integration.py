@@ -8,7 +8,7 @@ motivates (coordinator crash; backend outage).
 
 import pytest
 
-from repro.core import WhisperSystem
+from repro.core import ScenarioConfig, WhisperSystem
 from repro.soap import RequestTimeout, SoapClient, SoapFault
 
 
@@ -35,27 +35,27 @@ def call_once(system, service, arguments, timeout=60.0, client=None):
 
 @pytest.fixture
 def system():
-    sys_ = WhisperSystem(seed=11)
+    sys_ = WhisperSystem(ScenarioConfig(seed=11))
     return sys_
 
 
 class TestHappyPath:
     def test_end_to_end_invocation(self, system):
-        service = system.deploy_student_service(replicas=4)
+        service = system.deploy_student_service(system.config.replace(replicas=4))
         system.settle(6.0)
         outcome = call_once(system, service, {"ID": "S00042"})
         assert outcome["value"]["studentId"] == "S00042"
         assert outcome["value"]["name"]
 
     def test_unknown_student_is_client_fault(self, system):
-        service = system.deploy_student_service(replicas=2)
+        service = system.deploy_student_service(system.config.replace(replicas=2))
         system.settle(6.0)
         outcome = call_once(system, service, {"ID": "S99999"})
         assert isinstance(outcome["error"], SoapFault)
         assert outcome["error"].faultcode == "Client"
 
     def test_unknown_operation_is_client_fault(self, system):
-        service = system.deploy_student_service(replicas=2)
+        service = system.deploy_student_service(system.config.replace(replicas=2))
         system.settle(6.0)
         node, soap = system.add_client()
         outcome = {}
@@ -72,7 +72,7 @@ class TestHappyPath:
     def test_common_case_latency_is_milliseconds(self, system):
         """§5: the average RTT on the LAN is sub-millisecond at the packet
         level; end-to-end SOAP invocations stay in the low milliseconds."""
-        service = system.deploy_student_service(replicas=4)
+        service = system.deploy_student_service(system.config.replace(replicas=4))
         system.settle(6.0)
         client = system.add_client("steady-client")
         latencies = []
@@ -84,7 +84,7 @@ class TestHappyPath:
         assert max(latencies[1:]) < 0.05  # warm calls: a few ms each
 
     def test_proxy_discovers_once_then_caches(self, system):
-        service = system.deploy_student_service(replicas=2)
+        service = system.deploy_student_service(system.config.replace(replicas=2))
         system.settle(6.0)
         client = system.add_client("cache-client")
         for index in range(3):
@@ -95,7 +95,7 @@ class TestHappyPath:
         from repro.backend import claim_assessment, claims_database
         from repro.wsdl import insurance_claims_wsdl
 
-        student = system.deploy_student_service(replicas=2)
+        student = system.deploy_student_service(system.config.replace(replicas=2))
         claims = system.deploy_service(
             insurance_claims_wsdl(),
             [claim_assessment(claims_database()) for _ in range(2)],
@@ -119,7 +119,7 @@ class TestHappyPath:
 
 class TestCoordinatorFailover:
     def test_invocation_survives_coordinator_crash(self, system):
-        service = system.deploy_student_service(replicas=4)
+        service = system.deploy_student_service(system.config.replace(replicas=4))
         system.settle(6.0)
         client = system.add_client("failover-client")
         call_once(system, service, {"ID": "S00001"}, client=client)  # bind
@@ -132,7 +132,7 @@ class TestCoordinatorFailover:
     def test_failover_latency_is_seconds(self, system):
         """§5: worst-case RTT reaches several seconds (detection + election
         + re-binding)."""
-        service = system.deploy_student_service(replicas=4)
+        service = system.deploy_student_service(system.config.replace(replicas=4))
         system.settle(6.0)
         client = system.add_client("worst-case-client")
         call_once(system, service, {"ID": "S00001"}, client=client)
@@ -145,7 +145,7 @@ class TestCoordinatorFailover:
         assert service.proxy.stats.failover_durations
 
     def test_new_coordinator_differs(self, system):
-        service = system.deploy_student_service(replicas=3)
+        service = system.deploy_student_service(system.config.replace(replicas=3))
         system.settle(6.0)
         old = service.group.coordinator_id()
         service.group.crash_coordinator()
@@ -157,7 +157,7 @@ class TestCoordinatorFailover:
         assert new != old
 
     def test_two_sequential_failovers(self, system):
-        service = system.deploy_student_service(replicas=4)
+        service = system.deploy_student_service(system.config.replace(replicas=4))
         system.settle(6.0)
         client = system.add_client("double-failover")
         for _round in range(2):
@@ -170,7 +170,7 @@ class TestCoordinatorFailover:
     def test_all_replicas_down_times_out(self, system):
         """With every b-peer dead there is nobody to elect: the client sees
         the §1 failure mode (no fault, just silence/timeouts)."""
-        service = system.deploy_student_service(replicas=2)
+        service = system.deploy_student_service(system.config.replace(replicas=2))
         system.settle(6.0)
         for peer in service.group.peers:
             peer.node.crash()
@@ -182,7 +182,7 @@ class TestBackendFailover:
     def test_db_outage_served_by_equivalent_peer(self, system):
         """§4.1: operational DB down -> semantically equivalent peer answers
         (possibly from the data warehouse)."""
-        service = system.deploy_student_service(replicas=4)
+        service = system.deploy_student_service(system.config.replace(replicas=4))
         system.settle(6.0)
         coordinator = service.group.coordinator_peer()
         coordinator.implementation.backend.fail()
@@ -191,7 +191,7 @@ class TestBackendFailover:
         assert coordinator.requests_delegated >= 1
 
     def test_warehouse_source_used_when_all_dbs_down(self, system):
-        service = system.deploy_student_service(replicas=4)
+        service = system.deploy_student_service(system.config.replace(replicas=4))
         system.settle(6.0)
         for peer in service.group.peers:
             if peer.implementation.flavour == "operational":
@@ -200,7 +200,7 @@ class TestBackendFailover:
         assert outcome["value"]["source"] == "data-warehouse"
 
     def test_every_backend_down_is_server_fault(self, system):
-        service = system.deploy_student_service(replicas=3)
+        service = system.deploy_student_service(system.config.replace(replicas=3))
         system.settle(6.0)
         for peer in service.group.peers:
             peer.implementation.backend.fail()
@@ -209,7 +209,7 @@ class TestBackendFailover:
         assert outcome["error"].faultcode == "Server"
 
     def test_backend_recovery_restores_service(self, system):
-        service = system.deploy_student_service(replicas=2, warehouse_every=0)
+        service = system.deploy_student_service(system.config.replace(replicas=2, warehouse_every=0))
         system.settle(6.0)
         for peer in service.group.peers:
             peer.implementation.backend.fail()
@@ -222,7 +222,7 @@ class TestBackendFailover:
 
 class TestCrashRestart:
     def test_replica_restart_rejoins_group(self, system):
-        service = system.deploy_student_service(replicas=3)
+        service = system.deploy_student_service(system.config.replace(replicas=3))
         system.settle(6.0)
         victim = service.group.peers[0]
         victim.node.crash()
@@ -234,7 +234,7 @@ class TestCrashRestart:
         assert len(victim.groups.members(victim.group_id)) == 3
 
     def test_invocations_flow_after_restart(self, system):
-        service = system.deploy_student_service(replicas=3)
+        service = system.deploy_student_service(system.config.replace(replicas=3))
         system.settle(6.0)
         victim = service.group.coordinator_peer()
         victim.node.crash()
@@ -250,8 +250,8 @@ class TestLoadSharing:
     def test_member_backend_outage_masked_under_load_sharing(self):
         """With load sharing on, a member whose backend is down chains to a
         healthy replica instead of bouncing cannot-serve to the proxy."""
-        system = WhisperSystem(seed=14, load_sharing=True)
-        service = system.deploy_student_service(replicas=4)
+        system = WhisperSystem(ScenarioConfig(seed=14, load_sharing=True))
+        service = system.deploy_student_service(system.config.replace(replicas=4))
         system.settle(6.0)
         # Fail one *non-coordinator* member's backend.
         coordinator_id = service.group.coordinator_id()
@@ -269,8 +269,8 @@ class TestLoadSharing:
         assert broken.requests_delegated >= 1
 
     def test_round_robin_spreads_requests(self):
-        system = WhisperSystem(seed=13, load_sharing=True)
-        service = system.deploy_student_service(replicas=4)
+        system = WhisperSystem(ScenarioConfig(seed=13, load_sharing=True))
+        service = system.deploy_student_service(system.config.replace(replicas=4))
         system.settle(6.0)
         client = system.add_client("spread-client")
         for index in range(12):

@@ -3,19 +3,19 @@
 import pytest
 
 from repro.backend import student_database, student_lookup_operational
-from repro.core import PlainWebService, WhisperSystem
+from repro.core import PlainWebService, ScenarioConfig, WhisperSystem
 from repro.soap import HttpRequest, RequestTimeout, SoapFault, http_request
 from repro.wsdl import definitions_from_xml
 
 
 @pytest.fixture
 def system():
-    return WhisperSystem(seed=71)
+    return WhisperSystem(ScenarioConfig(seed=71))
 
 
 class TestWhisperWebService:
     def test_wsdl_endpoint_serves_description(self, system):
-        service = system.deploy_student_service(replicas=2)
+        service = system.deploy_student_service(system.config.replace(replicas=2))
         system.settle(6.0)
         node = system.network.add_host("wsdl-client")
         got = {}
@@ -36,7 +36,7 @@ class TestWhisperWebService:
         assert operation.is_annotated  # WSDL-S annotations survive
 
     def test_unknown_path_404(self, system):
-        service = system.deploy_student_service(replicas=2)
+        service = system.deploy_student_service(system.config.replace(replicas=2))
         system.settle(6.0)
         node = system.network.add_host("nf-client")
         got = {}
@@ -50,7 +50,7 @@ class TestWhisperWebService:
         assert got["response"].status == 404
 
     def test_dispatch_rejects_unknown_operation(self, system):
-        service = system.deploy_student_service(replicas=2)
+        service = system.deploy_student_service(system.config.replace(replicas=2))
         system.settle(6.0)
         node, client = system.add_client("op-client")
         got = {}

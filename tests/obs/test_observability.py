@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.core import WhisperSystem
+from repro.core import ScenarioConfig, WhisperSystem
 from repro.obs import NULL_TRACE, Observability
 
 
@@ -68,8 +68,8 @@ class TestObservabilityFacade:
 
 class TestSystemIntegration:
     def test_failure_free_requests_record_phase_spans(self):
-        system = WhisperSystem(seed=11)
-        service = system.deploy_student_service(replicas=3)
+        system = WhisperSystem(ScenarioConfig(seed=11))
+        service = system.deploy_student_service(system.config.replace(replicas=3))
         system.settle(6.0)
         _run_requests(system, service, 4)
         report = system.status_report()
@@ -86,8 +86,8 @@ class TestSystemIntegration:
         assert [span.name for span in trace.spans()] == ["discover", "invoke"]
 
     def test_coordinator_crash_shows_up_as_recover_phase(self):
-        system = WhisperSystem(seed=13)
-        service = system.deploy_student_service(replicas=3)
+        system = WhisperSystem(ScenarioConfig(seed=13))
+        service = system.deploy_student_service(system.config.replace(replicas=3))
         system.settle(6.0)
         victim = service.group.coordinator_peer()
         system.failures.crash_at(system.env.now + 0.3, victim.node.name)
@@ -118,8 +118,8 @@ class TestSystemIntegration:
         )
 
     def test_message_trace_mirrors_into_metrics(self):
-        system = WhisperSystem(seed=17)
-        service = system.deploy_student_service(replicas=2)
+        system = WhisperSystem(ScenarioConfig(seed=17))
+        service = system.deploy_student_service(system.config.replace(replicas=2))
         system.settle(6.0)
         _run_requests(system, service, 2)
         counters = system.obs.metrics.counters
@@ -129,8 +129,8 @@ class TestSystemIntegration:
     def test_disabled_observability_is_inert_and_equivalent(self):
         reports = {}
         for enabled in (True, False):
-            system = WhisperSystem(seed=23, observability=enabled)
-            service = system.deploy_student_service(replicas=3)
+            system = WhisperSystem(ScenarioConfig(seed=23, observability=enabled))
+            service = system.deploy_student_service(system.config.replace(replicas=3))
             system.settle(6.0)
             _run_requests(system, service, 3)
             reports[enabled] = (system.trace.snapshot(), system)
@@ -144,8 +144,8 @@ class TestSystemIntegration:
         assert reports[True][0] == reports[False][0]
 
     def test_reset_counters_can_include_observability(self):
-        system = WhisperSystem(seed=29)
-        service = system.deploy_student_service(replicas=2)
+        system = WhisperSystem(ScenarioConfig(seed=29))
+        service = system.deploy_student_service(system.config.replace(replicas=2))
         system.settle(6.0)
         _run_requests(system, service, 2)
         system.reset_counters()

@@ -8,7 +8,7 @@ from repro.backend import (
     loan_approval,
     loans_database,
 )
-from repro.core import WhisperSystem
+from repro.core import ScenarioConfig, WhisperSystem
 from repro.qos import QosMetrics
 from repro.workflow import (
     ExclusiveChoice,
@@ -25,7 +25,7 @@ from repro.wsdl import bank_loans_wsdl, insurance_claims_wsdl
 
 @pytest.fixture(scope="module")
 def deployment():
-    system = WhisperSystem(seed=111)
+    system = WhisperSystem(ScenarioConfig(seed=111))
     claims = system.deploy_service(
         insurance_claims_wsdl(),
         [claim_assessment(claims_database()) for _ in range(2)],

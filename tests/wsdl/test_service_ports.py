@@ -53,11 +53,11 @@ class TestBootstrapFromWsdl:
     def test_client_invokes_from_served_description(self):
         """The full SOA bootstrap: fetch ?wsdl, read the endpoint from the
         service/port element, invoke the advertised operation."""
-        from repro.core import WhisperSystem
+        from repro.core import ScenarioConfig, WhisperSystem
         from repro.soap import HttpRequest, SoapClient, http_request
 
-        system = WhisperSystem(seed=121)
-        service = system.deploy_student_service(replicas=2)
+        system = WhisperSystem(ScenarioConfig(seed=121))
+        service = system.deploy_student_service(system.config.replace(replicas=2))
         system.settle(6.0)
         node = system.network.add_host("bootstrap-client")
         outcome = {}
