@@ -1,6 +1,6 @@
 # Developer conveniences for the Whisper reproduction.
 
-.PHONY: install test bench examples figures overload all clean
+.PHONY: install test bench examples figures overload exactly-once all clean
 
 install:
 	python setup.py develop
@@ -26,6 +26,10 @@ figures:
 
 overload:
 	python -m repro overload
+
+exactly-once:
+	python -m repro campaign --seed 42 --duration 60 --workload enroll --loss 0.01
+	python -m repro campaign --seed 42 --duration 60 --workload enroll --loss 0.01 --no-journal
 
 outputs:
 	pytest tests/ 2>&1 | tee test_output.txt

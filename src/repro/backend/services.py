@@ -40,6 +40,11 @@ class ServiceImplementation:
     flavour: str = "operational"
     #: Simulated compute time per invocation, seconds.
     service_time: float = 0.002
+    #: True when the handler has side effects (writes to the backend):
+    #: re-executing it under a retried invocation id is a *duplicate
+    #: application*, so b-peers journal + eagerly replicate its results
+    #: and the campaign audits its effect ledger.
+    mutating: bool = False
     invocations: int = field(default=0, init=False)
 
     def invoke(self, arguments: Dict[str, Any]) -> Any:
@@ -114,9 +119,7 @@ def student_enrollment(database: Database) -> ServiceImplementation:
         course = _require(arguments, "course")
         row = database.read("students", student_id)
         courses = sorted(set(row["enrolled_courses"]) | {course})
-        database.table("students").update(
-            student_id, {"enrolled_courses": courses}
-        )
+        database.update("students", student_id, {"enrolled_courses": courses})
         return {
             "studentId": student_id,
             "name": row["name"],
@@ -131,6 +134,7 @@ def student_enrollment(database: Database) -> ServiceImplementation:
         handler=handler,
         backend=database,
         service_time=0.003,
+        mutating=True,
     )
 
 

@@ -10,7 +10,8 @@ then serves from a data warehouse.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterator, List
+from collections import Counter
+from typing import Any, Callable, Dict, Iterator, List, Tuple
 
 __all__ = ["Table", "Database", "BackendUnavailable", "RecordNotFound"]
 
@@ -77,6 +78,12 @@ class Database:
         self._tables: Dict[str, Table] = {}
         self.reads = 0
         self.writes = 0
+        #: Side-effect ledger for the duplicate-execution audit: one
+        #: ``(invocation_id, applied_by)`` record per mutating execution
+        #: that ran under an idempotency key (see
+        #: :meth:`record_effect`).  Exactly-once means no invocation id
+        #: appears here more than once, across *all* backends.
+        self.effect_log: List[Tuple[str, str]] = []
 
     def create_table(self, name: str, primary_key: str) -> Table:
         if name in self._tables:
@@ -103,6 +110,30 @@ class Database:
         self._check_available()
         self.writes += 1
         self.table(table_name).insert(row)
+
+    def update(self, table_name: str, key: Any, changes: Dict[str, Any]) -> Dict[str, Any]:
+        """Availability-checked partial update (counts as a write)."""
+        self._check_available()
+        self.writes += 1
+        return self.table(table_name).update(key, changes)
+
+    # -- duplicate-execution audit ---------------------------------------------------
+
+    def record_effect(self, invocation_id: str, applied_by: str) -> None:
+        """Ledger one mutating execution under an idempotency key."""
+        self.effect_log.append((invocation_id, applied_by))
+
+    def effect_counts(self) -> "Counter[str]":
+        """Applications per invocation id (audit: every count must be 1)."""
+        return Counter(invocation_id for invocation_id, _ in self.effect_log)
+
+    def duplicate_effects(self) -> Dict[str, int]:
+        """Invocation ids applied more than once on *this* backend."""
+        return {
+            invocation_id: count
+            for invocation_id, count in self.effect_counts().items()
+            if count > 1
+        }
 
     # -- failure injection ---------------------------------------------------------
 

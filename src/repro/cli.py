@@ -6,7 +6,8 @@
     python -m repro rtt [--samples 400]
     python -m repro failover [--heartbeat 1.0]
     python -m repro availability [--replicas 4] [--duration 120]
-    python -m repro campaign [--duration 90] [--replicas 4] [--mtbf 25]
+    python -m repro campaign [--duration 90] [--workload enroll] [--loss 0.01]
+                             [--no-journal] [--json]
     python -m repro overload [--rates 125,250,375,500] [--queue-bound 8]
     python -m repro trace [--samples 20] [--crash] [--last 5] [--json]
     python -m repro metrics [--samples 50] [--crash] [--json | --csv]
@@ -194,9 +195,15 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         mttr=args.mttr,
         partitions=args.partitions,
         partition_duration=args.partition_duration,
+        workload=args.workload,
+        loss_rate=args.loss,
+        dedup_journal=not args.no_journal,
     )
     report = campaign.run()
-    print(report.format())
+    if args.json:
+        print(json_module.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.format())
     return 0 if report.ok else 1
 
 
@@ -368,7 +375,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     campaign = subparsers.add_parser(
         "campaign",
-        parents=[seed_parent, duration_parent],
+        parents=[seed_parent, duration_parent, json_parent],
         help="seeded fault campaign (churn + partitions) with invariant audit",
     )
     campaign.add_argument("--replicas", type=int, default=4)
@@ -376,6 +383,18 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--mttr", type=float, default=10.0)
     campaign.add_argument("--partitions", type=int, default=2)
     campaign.add_argument("--partition-duration", type=float, default=6.0)
+    campaign.add_argument(
+        "--workload", choices=("lookup", "enroll"), default="lookup",
+        help="probe workload: read-only lookups or mutating enrollments",
+    )
+    campaign.add_argument(
+        "--loss", type=float, default=0.0,
+        help="network-wide message loss rate (e.g. 0.01 for 1%%)",
+    )
+    campaign.add_argument(
+        "--no-journal", action="store_true",
+        help="disable the dedup journal (at-least-once baseline)",
+    )
     campaign.set_defaults(func=_cmd_campaign, duration=90.0)
 
     overload = subparsers.add_parser(

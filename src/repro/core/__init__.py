@@ -19,6 +19,7 @@ from .dispatch import (
     RoundRobinDispatch,
     dispatch_policy,
 )
+from .journal import DedupJournal, JournalEntry, JournalStats
 from .errors import (
     AnnotationError,
     InvocationFailedError,
@@ -40,8 +41,11 @@ __all__ = [
     "BPeerGroup",
     "CampaignReport",
     "Deadline",
+    "DedupJournal",
     "DeployedService",
     "DispatchPolicy",
+    "JournalEntry",
+    "JournalStats",
     "FaultCampaign",
     "RetryPolicy",
     "ExecReply",

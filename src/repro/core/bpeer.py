@@ -27,7 +27,7 @@ carrying a retry-after hint, instead of queueing without limit.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..backend.services import ServiceImplementation
@@ -43,6 +43,7 @@ from ..simnet.queues import Store
 from ..election.coordinator import GroupCoordinator
 from ..election.epoch import Epoch
 from .dispatch import DispatchSpec, MemberLoad, dispatch_policy
+from .journal import DedupJournal, JournalEntry
 
 __all__ = ["BPeer", "ExecRequest", "ExecReply"]
 
@@ -53,6 +54,12 @@ COORD_HANDLER = "whisper:coordinator"
 
 #: How long a coordinator waits for a delegated member to answer.
 DELEGATION_TIMEOUT = 1.0
+
+#: Backstop for requests parked behind an in-flight duplicate: if the
+#: original execution has not completed by then (e.g. its completion
+#: report was lost), the parked retry is answered ``busy`` so the proxy
+#: backs off and retries — never re-executed concurrently.
+PARK_TIMEOUT = 2 * DELEGATION_TIMEOUT
 
 #: Period of semantic-advertisement republication (JXTA republishes
 #: advertisements periodically; this is what repopulates the rendezvous'
@@ -81,6 +88,10 @@ class ExecRequest:
     #: results).  Gossiped into the group so epoch knowledge survives even
     #: when every peer that minted/accepted it has crashed.
     observed_epoch: Optional[Epoch] = None
+    #: Idempotency key: one id per *logical* call, reused across every
+    #: retry/rebind (``request_id`` stays per-attempt).  ``None`` (legacy
+    #: callers) disables dedup for this request.
+    invocation_id: Optional[str] = None
 
 
 @dataclass
@@ -105,6 +116,11 @@ class ExecReply:
     epoch: Optional[Epoch] = None
     #: For ``busy`` replies: estimated seconds until a queue slot frees.
     retry_after: Optional[float] = None
+    #: Idempotency key this reply settles (mirrors the request's).
+    invocation_id: Optional[str] = None
+    #: True when the value was replayed from the dedup journal instead of
+    #: executed — the retried call observed the original result.
+    deduped: bool = False
 
 
 @dataclass
@@ -128,6 +144,8 @@ class BPeer(Peer):
         load_sharing: bool = False,
         dispatch: DispatchSpec = None,
         queue_bound: Optional[int] = None,
+        dedup_journal: bool = True,
+        journal_capacity: int = 4096,
         name: Optional[str] = None,
     ):
         super().__init__(node, name=name)
@@ -148,6 +166,16 @@ class BPeer(Peer):
             heartbeat_interval=heartbeat_interval,
             miss_threshold=miss_threshold,
         )
+        #: Exactly-once machinery: the dedup/result journal plus requests
+        #: parked behind an in-flight duplicate (per invocation id).
+        self.journal_enabled = dedup_journal
+        self.journal = DedupJournal(capacity=journal_capacity)
+        self._parked: Dict[str, List[ExecRequest]] = {}
+        #: Retries parked behind an in-flight execution (total).
+        self.requests_parked = 0
+        #: ``(coordinator, epoch)`` the journal was last pushed to, so a
+        #: re-announced term does not re-send the transfer.
+        self._journal_pushed: Optional[Tuple[PeerId, Epoch]] = None
         self.requests_executed = 0
         self.requests_delegated = 0
         self.requests_redirected = 0
@@ -176,6 +204,12 @@ class BPeer(Peer):
         self.endpoint.register_listener(PROTO_EXEC, self._on_exec)
         self.groups.register_group_listener(PROTO_DELEGATE, self._on_delegate)
         self.resolver.register_handler(COORD_HANDLER, self._on_coordinator_query)
+        # Journal-transfer handshake: whenever a new coordinator is
+        # announced, members ship it their replicated DONE entries so the
+        # takeover answers retried calls from the journal.
+        self.coordinator_mgr.elector.on_coordinator_elected(
+            self._on_coordinator_announced
+        )
         node.on_crash(lambda _node: self._on_crash())
         node.on_restart(lambda _node: self._on_restart())
         self._rendezvous: Optional[Peer] = None
@@ -238,6 +272,8 @@ class BPeer(Peer):
             if republisher is not self.env.active_process:
                 republisher.interrupt("shutdown")
         self._queue.items.clear()
+        self._parked.clear()
+        self._journal_pushed = None
 
     def bootstrap_election(self) -> None:
         """Trigger the group's first election (call on one member)."""
@@ -265,6 +301,12 @@ class BPeer(Peer):
             self.coordinator_mgr.elector.observe_external_epoch(
                 request.observed_epoch
             )
+        if self._journal_answer(request):
+            # A retried invocation this group already completed: replay
+            # the canonical result — any member holding the replicated
+            # entry can answer, coordinator or not, under any epoch (the
+            # result is committed; re-deriving it is what we must avoid).
+            return
         if not self.is_coordinator:
             # §4.2: "the b-peer found may not be the coordinator. Therefore,
             # additional processing may need to be done to find the current
@@ -299,7 +341,202 @@ class BPeer(Peer):
                 ),
             )
             return
+        if self._park_if_in_flight(request):
+            return
         self._admit(request)
+
+    # -- exactly-once: journal replay, parking, replication -----------------------------
+
+    def _journal_done(self, request: ExecRequest) -> Optional[ExecReply]:
+        """The replayed canonical reply for a completed invocation, or None."""
+        if not self.journal_enabled or request.invocation_id is None:
+            return None
+        entry = self.journal.lookup(request.invocation_id)
+        if entry is None or not entry.done:
+            return None
+        self.journal.record_hit()
+        self.node.network.obs.metrics.inc("bpeer.journal_hits")
+        return self._replay_reply(entry, request)
+
+    def _journal_answer(self, request: ExecRequest) -> bool:
+        """Reply a completed invocation's canonical result; True if done."""
+        replayed = self._journal_done(request)
+        if replayed is None:
+            return False
+        self._reply(request, replayed)
+        return True
+
+    @staticmethod
+    def _replay_reply(entry: JournalEntry, request: ExecRequest) -> ExecReply:
+        """The stored reply, re-stamped for this attempt's request id."""
+        return replace(
+            entry.reply,
+            request_id=request.request_id,
+            invocation_id=request.invocation_id,
+            deduped=True,
+        )
+
+    def _park_if_in_flight(self, request: ExecRequest) -> bool:
+        """Park a retry whose invocation is executing here; True if parked.
+
+        The in-flight execution's completion answers every parked copy
+        from the journal.  A backstop timer converts a stuck park (lost
+        completion report) into a ``busy`` reply — the proxy backs off
+        and retries, still never executing the duplicate concurrently.
+        """
+        if not self.journal_enabled or request.invocation_id is None:
+            return False
+        if not self.implementation.mutating:
+            # Re-executing a read-only operation is harmless, and parking
+            # it would trade availability for a guarantee it does not
+            # need — only side-effecting services park (CAP-style: safety
+            # over liveness, but only where a duplicate would corrupt).
+            return False
+        entry = self.journal.lookup(request.invocation_id)
+        if entry is None or entry.done:
+            return False
+        invocation_id = request.invocation_id
+        self._parked.setdefault(invocation_id, []).append(request)
+        self.requests_parked += 1
+        self.node.network.obs.metrics.inc("bpeer.parked")
+        timer = self.env.timeout(PARK_TIMEOUT)
+        timer.add_callback(lambda _event: self._expire_parked(invocation_id, request))
+        return True
+
+    def _expire_parked(self, invocation_id: str, request: ExecRequest) -> None:
+        waiting = self._parked.get(invocation_id)
+        if not waiting or request not in waiting or not self.node.up:
+            return
+        waiting.remove(request)
+        if not waiting:
+            del self._parked[invocation_id]
+        self._reply(
+            request,
+            ExecReply(
+                request_id=request.request_id,
+                kind="busy",
+                retry_after=self._retry_after_hint(),
+                epoch=self.coordinator_mgr.epoch,
+                invocation_id=invocation_id,
+            ),
+        )
+
+    def _serve_parked(self, invocation_id: str) -> None:
+        """Answer every retry parked behind a now-completed invocation."""
+        entry = self.journal.lookup(invocation_id)
+        if entry is None or not entry.done:
+            return
+        for parked in self._parked.pop(invocation_id, []):
+            self.journal.record_hit()
+            self.node.network.obs.metrics.inc("bpeer.journal_hits")
+            self._reply(parked, self._replay_reply(entry, parked))
+
+    def _flush_parked(self, invocation_id: str, reply: ExecReply) -> None:
+        """Answer parked retries with a non-result (the attempt failed)."""
+        for parked in self._parked.pop(invocation_id, []):
+            self._reply(parked, replace(reply, request_id=parked.request_id))
+
+    def _journal_complete(self, request: ExecRequest, reply: ExecReply) -> ExecReply:
+        """Record an execution's outcome in the journal.
+
+        Results become the invocation's canonical ``DONE`` entry (first
+        result wins — completing an already-done entry suppresses the
+        duplicate and replays the stored value instead).  Non-results
+        abandon the in-flight marker so a retry may execute afresh.
+        """
+        if not self.journal_enabled or request.invocation_id is None:
+            return reply
+        if reply.deduped:
+            # Already a journal replay — the canonical entry exists.
+            return reply
+        invocation_id = request.invocation_id
+        if reply.kind != "result":
+            self.journal.abandon(invocation_id)
+            self._flush_parked(invocation_id, reply)
+            return reply
+        epoch = reply.epoch if reply.epoch is not None else self.coordinator_mgr.epoch
+        canonical = replace(reply, invocation_id=invocation_id, epoch=epoch)
+        entry, first = self.journal.complete(
+            invocation_id, canonical, epoch=epoch, now=self.env.now
+        )
+        if not first:
+            # A duplicate execution raced the canonical one (delegation
+            # fallback); its value is suppressed in favour of the stored
+            # result.
+            self.node.network.obs.metrics.inc("bpeer.duplicate_suppressed")
+            return self._replay_reply(entry, request)
+        self._replicate_entry(entry)
+        self._serve_parked(invocation_id)
+        return canonical
+
+    def _replicate_entry(self, entry: JournalEntry) -> None:
+        """Eagerly replicate a mutating invocation's DONE entry group-wide.
+
+        Read-only results stay local (re-executing them is harmless), so
+        the steady-state message overhead of the journal is zero for
+        lookup workloads; mutating results are broadcast at completion —
+        atomically with the backend effect in simulation time — so a
+        takeover coordinator can answer the retry instead of re-applying.
+        """
+        if not self.implementation.mutating:
+            return
+        view = self.groups.groups.get(self.group_id)
+        members = view.sorted_members() if view is not None else []
+        shipped = entry.replicable()
+        for member in members:
+            if member == self.peer_id:
+                continue
+            try:
+                self.groups.send_to_member(
+                    self.group_id,
+                    member,
+                    PROTO_DELEGATE,
+                    ("journal", shipped),
+                    category="bpeer-journal",
+                    size_bytes=288,
+                )
+                self.node.network.obs.metrics.inc("bpeer.journal_replicated")
+            except UnresolvablePeerError:
+                continue
+
+    def _on_coordinator_announced(self, coordinator: PeerId) -> None:
+        """Journal-transfer handshake: ship DONE entries to a new winner."""
+        if not self.journal_enabled or coordinator == self.peer_id:
+            return
+        # Only mutating results are replicated knowledge worth shipping —
+        # a read-only entry replays locally at best, and pushing it would
+        # tax every election on the Figure-4 read path.
+        if not self.implementation.mutating:
+            return
+        if not self.node.up:
+            return
+        term = (coordinator, self.coordinator_mgr.epoch)
+        if self._journal_pushed == term:
+            return
+        entries = self.journal.export()
+        if not entries:
+            return
+        try:
+            self.groups.send_to_member(
+                self.group_id,
+                coordinator,
+                PROTO_DELEGATE,
+                ("journal-push", entries),
+                category="bpeer-journal",
+                size_bytes=96 + 288 * len(entries),
+            )
+        except UnresolvablePeerError:
+            return
+        self._journal_pushed = term
+        self.node.network.obs.metrics.inc("bpeer.journal_pushes")
+
+    def _merge_journal_entries(self, entries: List[JournalEntry]) -> None:
+        for entry in entries:
+            if self.journal.merge(entry, now=self.env.now):
+                self.node.network.obs.metrics.inc("bpeer.journal_merges")
+            # Retries parked behind this invocation (it raced the
+            # replication) are answerable now.
+            self._serve_parked(entry.invocation_id)
 
     # -- admission control & dispatch (coordinator-side) -------------------------------
 
@@ -322,6 +559,16 @@ class BPeer(Peer):
         if self.queue_bound is not None and state.outstanding >= self.queue_bound:
             self._shed(request)
             return
+        if self.journal_enabled and request.invocation_id is not None:
+            # In-flight marker: a retry arriving while this runs is parked
+            # (never concurrently executed); the delegation-timeout
+            # fallback reconciles late results against it (first wins).
+            self.journal.begin(
+                request.invocation_id,
+                request=request,
+                epoch=self.coordinator_mgr.epoch,
+                now=self.env.now,
+            )
         state.outstanding += 1
         obs.metrics.observe(
             "bpeer.queue_depth", self._total_outstanding(), bounds=QUEUE_DEPTH_BUCKETS
@@ -446,6 +693,7 @@ class BPeer(Peer):
                 self._release_load(target)
                 self._load_for(self.peer_id).outstanding += 1
         reply = yield from self._execute_or_delegate(request)
+        reply = self._journal_complete(request, reply)
         self._reply(request, reply)
         self._release_load(self.peer_id)
         self._load_for(self.peer_id).qos = self.qos_profile.snapshot()
@@ -459,6 +707,11 @@ class BPeer(Peer):
         for member in self.groups.groups[self.group_id].sorted_members():
             if member == self.peer_id:
                 continue
+            replayed = self._journal_done(request)
+            if replayed is not None:
+                # The result landed via replication or a late relay-reply
+                # while we waited out a delegation — stop fanning out.
+                return replayed
             delegated = yield from self._delegate_to(member, request)
             if delegated is not None and delegated.kind != "cannot-serve":
                 return delegated
@@ -468,6 +721,8 @@ class BPeer(Peer):
         obs = self.node.network.obs
         started = self.env.now
         yield self.env.timeout(self.implementation.service_time)
+        backend = self.implementation.backend
+        writes_before = backend.writes
         try:
             value = self.implementation.invoke(request.arguments)
         except BackendUnavailable:
@@ -475,6 +730,7 @@ class BPeer(Peer):
             obs.metrics.inc("bpeer.backend_unavailable")
             return ExecReply(request_id=request.request_id, kind="cannot-serve")
         except (RecordNotFound, ValueError) as error:
+            self._ledger_effect(request, backend, writes_before)
             obs.metrics.inc("bpeer.faults")
             return ExecReply(
                 request_id=request.request_id,
@@ -483,6 +739,7 @@ class BPeer(Peer):
                 value=str(error),
             )
         except Exception as error:  # implementation bug
+            self._ledger_effect(request, backend, writes_before)
             obs.metrics.inc("bpeer.faults")
             return ExecReply(
                 request_id=request.request_id,
@@ -490,6 +747,7 @@ class BPeer(Peer):
                 fault_code="Server",
                 value=f"{type(error).__name__}: {error}",
             )
+        self._ledger_effect(request, backend, writes_before)
         self.requests_executed += 1
         self.qos_profile.record_success(self.env.now - started)
         obs.metrics.inc("bpeer.executed")
@@ -500,6 +758,16 @@ class BPeer(Peer):
             value=value,
             served_by=self.implementation.name,
         )
+
+    def _ledger_effect(self, request: ExecRequest, backend, writes_before: int) -> None:
+        """Audit trail: ledger the write batch this execution applied.
+
+        Recorded even with the journal disabled — the at-least-once
+        baseline must expose its duplicate applications to the campaign's
+        duplicate-execution audit, not hide them.
+        """
+        if request.invocation_id is not None and backend.writes > writes_before:
+            backend.record_effect(request.invocation_id, self.name)
 
     # -- delegation (coordinator -> member) -----------------------------------------------
 
@@ -539,10 +807,23 @@ class BPeer(Peer):
         elif mode == "report":
             # A member finished a direct-dispatched request: release its
             # ledger slot and refresh its QoS snapshot (feeds the
-            # least-outstanding and QoS-weighted policies).
-            _mode, member, qos = payload
+            # least-outstanding and QoS-weighted policies).  Since PR 4 the
+            # report piggybacks the member's DONE journal entry — free
+            # replication back to the dispatching coordinator.
+            member, qos = payload[1], payload[2]
             self._release_load(member)
             self._load_for(member).qos = qos
+            entry = payload[3] if len(payload) > 3 else None
+            if entry is not None and self.journal_enabled:
+                self._merge_journal_entries([entry])
+        elif mode == "journal":
+            # Eager replication of a mutating invocation's result.
+            if self.journal_enabled:
+                self._merge_journal_entries([payload[1]])
+        elif mode == "journal-push":
+            # Bulk journal transfer to a freshly elected coordinator.
+            if self.journal_enabled:
+                self._merge_journal_entries(payload[1])
         elif mode == "relay":
             _mode, delegation_id, coordinator, request = payload
             self._queue.put(
@@ -555,30 +836,49 @@ class BPeer(Peer):
                 delegation.reply = reply
                 if not delegation.done.triggered:
                     delegation.done.succeed()
+            else:
+                self._reconcile_late_reply(reply)
+
+    def _reconcile_late_reply(self, reply: ExecReply) -> None:
+        """Reconcile a member's answer that arrived after its delegation
+        timed out.  The fallback may have moved on to another member; the
+        in-flight journal entry (tombstone) already guards against a
+        concurrent retry, and committing the first result here means any
+        slower duplicate is suppressed at completion time (first result
+        wins) instead of double-delivered."""
+        if not self.journal_enabled or reply.invocation_id is None:
+            return
+        if reply.kind != "result" or reply.deduped:
+            return
+        invocation_id = reply.invocation_id
+        entry, first = self.journal.complete(
+            invocation_id, reply, epoch=reply.epoch, now=self.env.now
+        )
+        if not first:
+            self.node.network.obs.metrics.inc("bpeer.duplicate_suppressed")
+            return
+        self.node.network.obs.metrics.inc("bpeer.late_replies_reconciled")
+        self._replicate_entry(entry)
+        self._serve_parked(invocation_id)
 
     def _serve_delegated(self, mode, delegation_id, coordinator, request: ExecRequest):
         if mode == "direct":
             # Load-sharing: we answer the proxy ourselves — but if our own
             # backend is down, chain through the group like a coordinator
             # would (§4.1's transparent takeover applies here too).
-            reply = yield from self._execute_or_delegate(request)
+            reply = self._journal_done(request)
+            if reply is None:
+                reply = yield from self._execute_or_delegate(request)
+                reply = self._journal_complete(request, reply)
             self._reply(request, reply)
-            if coordinator is not None and coordinator != self.peer_id:
-                try:
-                    self.groups.send_to_member(
-                        self.group_id,
-                        coordinator,
-                        PROTO_DELEGATE,
-                        ("report", self.peer_id, self.qos_profile.snapshot()),
-                        category="bpeer-load-report",
-                        size_bytes=96,
-                    )
-                except UnresolvablePeerError:
-                    pass
+            self._report_to(coordinator, entry=self._piggyback_entry(request, reply))
             return
         # Relay mode: execute locally only (the *coordinator* owns the
         # delegation chain; a delegate that also delegated could loop).
-        reply = yield from self._execute_local(request)
+        reply = self._journal_done(request)
+        if reply is None:
+            reply = yield from self._execute_local(request)
+            reply = self._journal_complete(request, reply)
         try:
             self.groups.send_to_member(
                 self.group_id,
@@ -590,6 +890,37 @@ class BPeer(Peer):
             )
         except UnresolvablePeerError:
             pass
+
+    def _report_to(
+        self, coordinator: Optional[PeerId], entry: Optional[JournalEntry] = None
+    ) -> None:
+        """Completion report to the dispatching coordinator (+ journal entry)."""
+        if coordinator is None or coordinator == self.peer_id:
+            return
+        try:
+            self.groups.send_to_member(
+                self.group_id,
+                coordinator,
+                PROTO_DELEGATE,
+                ("report", self.peer_id, self.qos_profile.snapshot(), entry),
+                category="bpeer-load-report",
+                size_bytes=96 if entry is None else 96 + 288,
+            )
+        except UnresolvablePeerError:
+            pass
+
+    def _piggyback_entry(
+        self, request: ExecRequest, reply: ExecReply
+    ) -> Optional[JournalEntry]:
+        """The DONE entry a completion report should carry, if any."""
+        if not self.journal_enabled or request.invocation_id is None:
+            return None
+        if reply.kind != "result":
+            return None
+        entry = self.journal.lookup(request.invocation_id)
+        if entry is None or not entry.done:
+            return None
+        return entry.replicable()
 
     # -- coordinator discovery (proxy-side resolver queries) ---------------------------------
 
@@ -628,6 +959,13 @@ class BPeer(Peer):
         self._ledger_epoch = None
         self._worker = None
         self._republisher = None
+        # Exactly-once state: DONE entries model durable storage (like the
+        # persisted election epoch) and survive the crash; in-flight
+        # markers and parked retries are memory and do not — a restarted
+        # peer may execute those invocations afresh.
+        self._parked.clear()
+        self._journal_pushed = None
+        self.journal.drop_executing()
 
     def __repr__(self) -> str:
         role = "coordinator" if self.is_coordinator else "member"

@@ -102,6 +102,8 @@ def deploy_bpeer_group(
     load_sharing: bool = False,
     dispatch=None,
     queue_bound: Optional[int] = None,
+    dedup_journal: bool = True,
+    journal_capacity: int = 4096,
     advertise_remote: bool = True,
     advertise_qos: Optional[QosMetrics] = None,
 ) -> BPeerGroup:
@@ -139,6 +141,8 @@ def deploy_bpeer_group(
             load_sharing=load_sharing,
             dispatch=dispatch,
             queue_bound=queue_bound,
+            dedup_journal=dedup_journal,
+            journal_capacity=journal_capacity,
         )
         bpeer.start(rendezvous)
         # Every replica keeps the group advertisement alive (idempotent in

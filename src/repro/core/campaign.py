@@ -14,7 +14,13 @@ run against the recovery layer's safety invariants:
 * **no stale result** — the proxy never delivered a result under an epoch
   lower than one it had already delivered (per group);
 * **convergence** — after the schedule drains and a cooldown settles, at
-  most one live peer believes it coordinates the group.
+  most one live peer believes it coordinates the group;
+* **exactly-once** (mutating workloads, journal enabled) — no invocation
+  id appears more than once in the backends' side-effect ledgers: a
+  retried/redelegated call never applied its mutation twice.  The same
+  audit run against the at-least-once baseline (``dedup_journal=False``)
+  *documents* the duplicates instead of failing, proving the test has
+  teeth.
 
 Campaigns are deterministic per seed (all randomness flows from the
 network's :class:`~repro.simnet.rng.RngRegistry`), so a violating run is
@@ -23,14 +29,19 @@ a reproducible regression test, not an anecdote.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
+from ..backend.datasets import student_database
+from ..backend.services import student_enrollment
 from ..simnet.events import Interrupt
 from ..soap.client import SoapClient
 from ..soap.fault import SoapFault
 from ..soap.http import RequestTimeout
+from ..wsdl.samples import student_admin_wsdl
 from .config import ScenarioConfig
+from .errors import WhisperError
 from .system import WhisperSystem
 
 __all__ = ["FaultCampaign", "CampaignReport"]
@@ -42,6 +53,9 @@ class CampaignReport:
 
     seed: int
     duration: float
+    workload: str = "lookup"
+    loss_rate: float = 0.0
+    dedup_journal: bool = True
     probes_ok: int = 0
     probes_failed: int = 0
     crashes: int = 0
@@ -54,6 +68,25 @@ class CampaignReport:
     stale_results_discarded: int = 0
     rebinds: int = 0
     live_coordinators: int = 0
+    # -- exactly-once / duplicate-execution audit --
+    #: Probe results replayed from the dedup journal (retry observed the
+    #: original value: ``InvokeResult.deduped``).
+    probes_deduped: int = 0
+    journal_hits: int = 0
+    journal_merges: int = 0
+    journal_replications: int = 0
+    journal_pushes: int = 0
+    duplicates_suppressed: int = 0
+    requests_parked: int = 0
+    #: Mutating executions ledgered on any backend (one per application).
+    effects_applied: int = 0
+    #: Distinct invocation ids with at least one ledgered effect.
+    distinct_effects: int = 0
+    #: invocation id -> application count, for every id applied > once
+    #: across *all* backends (exactly-once demands this stays empty).
+    double_applied: Dict[str, int] = field(default_factory=dict)
+    #: Client-observed latencies of successful probes (seconds).
+    probe_latencies: List[float] = field(default_factory=list)
     violations: List[str] = field(default_factory=list)
 
     @property
@@ -65,14 +98,69 @@ class CampaignReport:
         return self.probes_ok / self.probes if self.probes else 0.0
 
     @property
+    def duplicate_rate(self) -> float:
+        """Share of effectful invocations that were applied more than once."""
+        return len(self.double_applied) / self.distinct_effects if self.distinct_effects else 0.0
+
+    @property
+    def probe_p99(self) -> Optional[float]:
+        """p99 of successful probe latencies (seconds), None without data."""
+        if not self.probe_latencies:
+            return None
+        ordered = sorted(self.probe_latencies)
+        # Nearest-rank p99.
+        rank = max(0, -(-99 * len(ordered) // 100) - 1)
+        return ordered[min(rank, len(ordered) - 1)]
+
+    @property
     def ok(self) -> bool:
         return not self.violations
 
+    def to_dict(self) -> Dict[str, Any]:
+        """Machine-readable report (``python -m repro campaign --json``)."""
+        return {
+            "seed": self.seed,
+            "duration": self.duration,
+            "workload": self.workload,
+            "loss_rate": self.loss_rate,
+            "dedup_journal": self.dedup_journal,
+            "probes": self.probes,
+            "probes_ok": self.probes_ok,
+            "probes_failed": self.probes_failed,
+            "availability": self.availability,
+            "probe_p99_s": self.probe_p99,
+            "crashes": self.crashes,
+            "restarts": self.restarts,
+            "partitions": self.partitions,
+            "elections_won": self.elections_won,
+            "epochs_announced": self.epochs_announced,
+            "stale_epoch_rejections": self.stale_epoch_rejections,
+            "stale_epoch_redirects": self.stale_epoch_redirects,
+            "stale_results_discarded": self.stale_results_discarded,
+            "rebinds": self.rebinds,
+            "live_coordinators": self.live_coordinators,
+            "probes_deduped": self.probes_deduped,
+            "journal_hits": self.journal_hits,
+            "journal_merges": self.journal_merges,
+            "journal_replications": self.journal_replications,
+            "journal_pushes": self.journal_pushes,
+            "duplicates_suppressed": self.duplicates_suppressed,
+            "requests_parked": self.requests_parked,
+            "effects_applied": self.effects_applied,
+            "distinct_effects": self.distinct_effects,
+            "double_applied": dict(self.double_applied),
+            "duplicate_rate": self.duplicate_rate,
+            "violations": list(self.violations),
+            "ok": self.ok,
+        }
+
     def format(self) -> str:
+        journal = "journal on" if self.dedup_journal else "at-least-once baseline"
         lines = [
-            f"fault campaign (seed={self.seed}, {self.duration:.0f}s)",
+            f"fault campaign (seed={self.seed}, {self.duration:.0f}s, "
+            f"workload={self.workload}, loss={self.loss_rate:.2%}, {journal})",
             f"  probes        : {self.probes} ({self.probes_ok} ok, "
-            f"{self.probes_failed} failed)",
+            f"{self.probes_failed} failed, {self.probes_deduped} deduped)",
             f"  availability  : {self.availability:.4f}",
             f"  injected      : {self.crashes} crashes, {self.restarts} restarts, "
             f"{self.partitions} partitions",
@@ -83,7 +171,16 @@ class CampaignReport:
             f"{self.stale_results_discarded} stale results discarded",
             f"  proxy rebinds : {self.rebinds}",
             f"  live coords   : {self.live_coordinators}",
+            f"  journal       : {self.journal_hits} hits, {self.journal_merges} "
+            f"merges, {self.journal_replications} replications, "
+            f"{self.journal_pushes} pushes, {self.requests_parked} parked",
+            f"  exactly-once  : {self.effects_applied} effects over "
+            f"{self.distinct_effects} invocations, "
+            f"{len(self.double_applied)} double-applied, "
+            f"{self.duplicates_suppressed} duplicate results suppressed",
         ]
+        if self.probe_p99 is not None:
+            lines.append(f"  probe p99     : {self.probe_p99 * 1000:.1f} ms")
         if self.violations:
             lines.append(f"  INVARIANT VIOLATIONS ({len(self.violations)}):")
             lines.extend(f"    - {violation}" for violation in self.violations)
@@ -108,7 +205,14 @@ class FaultCampaign:
         probe_timeout: float = 2.0,
         heartbeat_interval: float = 0.5,
         miss_threshold: int = 2,
+        workload: str = "lookup",
+        loss_rate: float = 0.0,
+        dedup_journal: bool = True,
+        probe_budget: float = 10.0,
+        students: int = 200,
     ):
+        if workload not in ("lookup", "enroll"):
+            raise ValueError(f"unknown campaign workload {workload!r}")
         self.seed = seed
         self.duration = duration
         self.replicas = replicas
@@ -118,22 +222,57 @@ class FaultCampaign:
         self.partition_duration = partition_duration
         self.probe_period = probe_period
         self.probe_timeout = probe_timeout
+        #: ``enroll`` probes: retry budget per logical call — wide enough
+        #: to straddle a partition heal, which is exactly when an
+        #: at-least-once retry re-executes a mutation it already applied.
+        self.probe_budget = probe_budget
+        self.workload = workload
+        self.loss_rate = loss_rate
+        self.dedup_journal = dedup_journal
+        self.students = students
         self.system = WhisperSystem(
             ScenarioConfig(
                 seed=seed,
                 heartbeat_interval=heartbeat_interval,
                 miss_threshold=miss_threshold,
                 replicas=replicas,
+                students=students,
+                dedup_journal=dedup_journal,
             )
         )
-        self.service = self.system.deploy_student_service()
+        if loss_rate:
+            self.system.network.loss_rate = loss_rate
+        if workload == "enroll":
+            self.service = self._deploy_enroll_service()
+        else:
+            self.service = self.system.deploy_student_service()
+
+    def _deploy_enroll_service(self):
+        """The mutating workload: §3's ``sm:EnrollStudent``, one
+        operational-database replica per b-peer (independent stores, so
+        the audit can attribute every application)."""
+        implementations = [
+            student_enrollment(student_database(self.students))
+            for _ in range(self.replicas)
+        ]
+        return self.system.deploy_service(
+            student_admin_wsdl(),
+            {"EnrollStudent": implementations},
+            web_host="web0",
+        )
 
     # -- the run ---------------------------------------------------------------------
 
     def run(self) -> CampaignReport:
         system = self.system
         service = self.service
-        report = CampaignReport(seed=self.seed, duration=self.duration)
+        report = CampaignReport(
+            seed=self.seed,
+            duration=self.duration,
+            workload=self.workload,
+            loss_rate=self.loss_rate,
+            dedup_journal=self.dedup_journal,
+        )
         system.settle(6.0)
         start = system.env.now
         hosts = [peer.node.name for peer in service.group.peers]
@@ -186,13 +325,13 @@ class FaultCampaign:
         node = system.network.add_host("campaign-client")
         soap = SoapClient(node, default_timeout=self.probe_timeout)
 
-        def one_probe(sequence: int):
+        def lookup_probe(sequence: int):
             try:
                 yield from soap.call(
                     service.address,
                     service.path,
                     "StudentInformation",
-                    {"ID": f"S{sequence % 200 + 1:05d}"},
+                    {"ID": f"S{sequence % self.students + 1:05d}"},
                     timeout=self.probe_timeout,
                 )
             except (SoapFault, RequestTimeout):
@@ -201,6 +340,32 @@ class FaultCampaign:
                 return
             else:
                 report.probes_ok += 1
+
+        def enroll_probe(sequence: int):
+            # Straight through the proxy (no SOAP hop), so the probe
+            # observes the typed result — ``deduped`` retries included.
+            started = system.env.now
+            try:
+                result = yield from service.invoke(
+                    "EnrollStudent",
+                    {
+                        "ID": f"S{sequence % self.students + 1:05d}",
+                        "course": f"C{sequence:05d}",
+                    },
+                    timeout=self.probe_timeout,
+                    budget=self.probe_budget,
+                )
+            except (SoapFault, WhisperError):
+                report.probes_failed += 1
+            except Interrupt:
+                return
+            else:
+                report.probes_ok += 1
+                report.probe_latencies.append(system.env.now - started)
+                if result.deduped:
+                    report.probes_deduped += 1
+
+        one_probe = enroll_probe if self.workload == "enroll" else lookup_probe
 
         def injector():
             clock = 0.0
@@ -237,6 +402,36 @@ class FaultCampaign:
             for peer in service.group.peers
             if peer.node.up and peer.coordinator_mgr.is_coordinator
         )
+        # Exactly-once machinery + duplicate-execution ledger.
+        for peer in service.group.peers:
+            journal = peer.journal.stats
+            report.journal_hits += journal.hits
+            report.journal_merges += journal.merges
+            report.duplicates_suppressed += journal.duplicates_suppressed
+            report.requests_parked += peer.requests_parked
+        counters = self.system.obs.metrics.counters
+        for name, attribute in (
+            ("bpeer.journal_replicated", "journal_replications"),
+            ("bpeer.journal_pushes", "journal_pushes"),
+        ):
+            counter = counters.get(name)
+            if counter is not None:
+                setattr(report, attribute, counter.value)
+        totals: "Counter[str]" = Counter()
+        seen_backends = set()
+        for peer in service.group.peers:
+            backend = peer.implementation.backend
+            if id(backend) in seen_backends:
+                continue
+            seen_backends.add(id(backend))
+            report.effects_applied += len(backend.effect_log)
+            totals.update(backend.effect_counts())
+        report.distinct_effects = len(totals)
+        report.double_applied = {
+            invocation_id: count
+            for invocation_id, count in totals.items()
+            if count > 1
+        }
 
     def _audit(self, report: CampaignReport) -> None:
         violations = report.violations
@@ -278,6 +473,17 @@ class FaultCampaign:
                 )
             if last is None or epoch > last:
                 high[group_id] = epoch
+
+        # Exactly-once: with the journal on, no invocation id may appear
+        # more than once across every backend's effect ledger.  The
+        # baseline (journal off) run *reports* its duplicates instead of
+        # failing — it is the control that proves the audit has teeth.
+        if self.dedup_journal:
+            for invocation_id, count in sorted(report.double_applied.items()):
+                violations.append(
+                    f"invocation {invocation_id} applied {count} times "
+                    f"(exactly-once violated)"
+                )
 
         # Convergence: after cooldown, at most one live self-believed
         # coordinator remains.

@@ -55,6 +55,16 @@ class ScenarioConfig:
     #: instead of queueing forever.
     queue_bound: Optional[int] = None
 
+    # -- exactly-once invocation --
+    #: Dedup/result journal on every b-peer: retried invocation ids are
+    #: answered from the journal (or parked behind the in-flight
+    #: execution for mutating services) instead of re-executed.  ``False``
+    #: restores the seed's at-least-once semantics — the baseline the
+    #: duplicate-execution audit measures against.
+    dedup_journal: bool = True
+    #: Bound on journal entries per peer (oldest DONE evicted past it).
+    journal_capacity: int = 4096
+
     # -- canonical student scenario (§3) --
     replicas: int = 4
     students: int = 200

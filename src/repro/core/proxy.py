@@ -72,6 +72,9 @@ class ProxyStats:
     deadline_exhausted: int = 0
     #: ``busy`` replies received — the back-end shed load on us.
     shed: int = 0
+    #: Results replayed from the dedup journal (a retry observed the
+    #: original execution's value instead of re-executing).
+    deduped: int = 0
     #: Sheds whose retry-after hint we slept on before retrying (the
     #: remainder arrived with the deadline already exhausted).
     retry_after_honored: int = 0
@@ -131,6 +134,10 @@ class SwsProxy(Peer):
         #: invocation records a request trace with per-phase spans.
         self.obs = node.network.obs
         self._request_ids = itertools.count(1)
+        #: Idempotency keys: one per *logical* call (minted in ``_invoke``,
+        #: reused across every retry), unlike ``_request_ids`` which are
+        #: per-attempt.
+        self._invocation_ids = itertools.count(1)
         self._retry_rng = node.network.rng.stream(f"proxy-retry:{self.name}")
         self._pending: Dict[int, Any] = {}
         self._bindings: Dict[PeerGroupId, _Binding] = {}
@@ -362,6 +369,10 @@ class SwsProxy(Peer):
         deadline = Deadline(
             at=started_at + (budget if budget is not None else self.deadline_budget)
         )
+        # Idempotency key for the whole logical call: every retry/rebind
+        # below re-sends under the same id, so the b-peer group can
+        # deduplicate (journal replay) instead of re-executing.
+        invocation_id = f"{self.name}#{next(self._invocation_ids)}"
 
         discover_span = rtrace.begin("discover", self.env.now)
         matches = yield from self.find_peer_group_adv(operation, deadline=deadline)
@@ -460,6 +471,7 @@ class SwsProxy(Peer):
                 operation,
                 arguments,
                 deadline.clamp(self.env.now, per_request_timeout),
+                invocation_id,
             )
             if reply is None:  # timeout — coordinator is likely dead
                 invoke_span.finish(self.env.now, outcome="timeout")
@@ -471,7 +483,7 @@ class SwsProxy(Peer):
                 enter_recovery("timeout")
                 continue
             if reply.kind == "result":
-                if self._result_is_stale(group_id, reply):
+                if not reply.deduped and self._result_is_stale(group_id, reply):
                     # A deposed coordinator answered after a takeover
                     # already delivered under a newer term: never hand the
                     # stale value to the client.
@@ -488,7 +500,14 @@ class SwsProxy(Peer):
                 self.obs.metrics.inc("proxy.successes")
                 self.obs.metrics.observe("proxy.rtt", self.env.now - started_at)
                 profile.record_success(self.env.now - started_at)
-                self._record_result_epoch(group_id, reply.epoch)
+                if reply.deduped:
+                    # A journal replay settles under the *original*
+                    # execution's term; it neither advances nor violates
+                    # the monotone result-epoch audit.
+                    self.stats.deduped += 1
+                    self.obs.metrics.inc("proxy.deduped")
+                else:
+                    self._record_result_epoch(group_id, reply.epoch)
                 if recovered:
                     self.stats.failover_durations.append(self.env.now - started_at)
                     self.obs.metrics.observe(
@@ -513,6 +532,8 @@ class SwsProxy(Peer):
                     trace_id=rtrace.request_id,
                     served_by=reply.served_by,
                     shed_retries=shed_retries,
+                    deduped=reply.deduped,
+                    invocation_id=invocation_id,
                 )
             if reply.kind == "busy":
                 # Overload shed: the coordinator is alive but refusing
@@ -607,6 +628,7 @@ class SwsProxy(Peer):
         operation: str,
         arguments: Dict[str, Any],
         timeout: float,
+        invocation_id: Optional[str] = None,
     ) -> Generator:
         request = ExecRequest(
             request_id=next(self._request_ids),
@@ -617,6 +639,7 @@ class SwsProxy(Peer):
             reply_addr=self.endpoint.address,
             epoch=binding.epoch,
             observed_epoch=self._highest_witnessed(binding),
+            invocation_id=invocation_id,
         )
         done = self.env.event()
         self._pending[request.request_id] = done

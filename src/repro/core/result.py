@@ -57,6 +57,13 @@ class InvokeResult:
     served_by: Optional[str] = None
     #: How many ``server-busy`` sheds this invocation absorbed.
     shed_retries: int = 0
+    #: True when the value was replayed from the group's dedup journal —
+    #: a retried attempt observed the *original* execution's result
+    #: (exactly-once delivery) instead of triggering a re-execution.
+    deduped: bool = False
+    #: Idempotency key the proxy minted for this logical call (``None``
+    #: only for legacy callers that bypass the proxy).
+    invocation_id: Optional[str] = None
 
     @property
     def recovered(self) -> bool:

@@ -76,13 +76,19 @@ class DeployedService:
         return self.groups[operation]
 
     def invoke(
-        self, operation: str, arguments: Dict[str, Any]
+        self,
+        operation: str,
+        arguments: Dict[str, Any],
+        timeout: Optional[float] = None,
+        budget: Optional[float] = None,
     ) -> Generator[Any, Any, InvokeResult]:
         """Invoke through the SWS-proxy; returns a typed
         :class:`~repro.core.result.InvokeResult` (``.value`` holds the
         bare payload).  Convenience for tests/benchmarks that do not
         need the SOAP wire."""
-        result = yield from self.proxy.invoke(operation, arguments)
+        result = yield from self.proxy.invoke(
+            operation, arguments, timeout=timeout, budget=budget
+        )
         return result
 
 
@@ -203,6 +209,8 @@ class WhisperSystem:
                 load_sharing=scenario.load_sharing,
                 dispatch=scenario.dispatch,
                 queue_bound=scenario.queue_bound,
+                dedup_journal=scenario.dedup_journal,
+                journal_capacity=scenario.journal_capacity,
             )
 
         host_name = web_host or f"web-{sws.name}"

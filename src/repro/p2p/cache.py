@@ -9,7 +9,7 @@ are purged lazily on access.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Type
+from typing import Any, Callable, Dict, List, Optional, Type
 
 from .advertisement import Advertisement
 
@@ -23,11 +23,23 @@ class _Entry:
 
 
 class AdvertisementCache:
-    """Expiring store of advertisements, queryable by type and attribute."""
+    """Expiring store of advertisements, queryable by type and attribute.
 
-    def __init__(self, clock: Callable[[], float]):
+    When handed a metrics registry, the cache emits
+    ``discovery.cache_hit`` per successful lookup and
+    ``discovery.cache_expired`` per entry purged past its lifetime, so
+    campaign reports can correlate stale-advertisement windows (e.g.
+    after a partition) with discovery misses and dedup journal misses.
+    """
+
+    def __init__(self, clock: Callable[[], float], metrics: Optional[Any] = None):
         self._clock = clock
+        self._metrics = metrics
         self._entries: Dict[str, _Entry] = {}
+
+    def _inc(self, name: str, amount: int = 1) -> None:
+        if self._metrics is not None and amount:
+            self._metrics.inc(name, amount)
 
     def __len__(self) -> int:
         self._purge()
@@ -55,7 +67,9 @@ class AdvertisementCache:
             return None
         if entry.expires_at <= self._clock():
             del self._entries[key]
+            self._inc("discovery.cache_expired")
             return None
+        self._inc("discovery.cache_hit")
         return entry.advertisement
 
     def query(
@@ -84,6 +98,7 @@ class AdvertisementCache:
                     continue
             results.append(advertisement)
         results.sort(key=lambda adv: adv.key())
+        self._inc("discovery.cache_hit", len(results))
         return results
 
     def keys(self) -> List[str]:
@@ -98,6 +113,7 @@ class AdvertisementCache:
         expired = [key for key, entry in self._entries.items() if entry.expires_at <= now]
         for key in expired:
             del self._entries[key]
+        self._inc("discovery.cache_expired", len(expired))
 
 
 def _match_value(actual: str, pattern: str) -> bool:

@@ -43,7 +43,9 @@ class Peer:
         self.endpoint = EndpointService(
             node, self.peer_id, port=port, nat_isolated=nat_isolated
         )
-        self.cache = AdvertisementCache(clock=lambda: self.env.now)
+        self.cache = AdvertisementCache(
+            clock=lambda: self.env.now, metrics=node.network.obs.metrics
+        )
         self.rendezvous = RendezvousService(self.endpoint, is_rendezvous=is_rendezvous)
         self.resolver = ResolverService(self.endpoint, self.rendezvous)
         self.discovery = DiscoveryService(self.resolver, self.cache, self.rendezvous)

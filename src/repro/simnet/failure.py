@@ -55,18 +55,25 @@ class FailureInjector:
         side_b: Iterable[str],
         duration: Optional[float] = None,
     ) -> None:
-        """Split the network at ``time``; heal after ``duration`` if given."""
+        """Split the network at ``time``; heal after ``duration`` if given.
+
+        Only *this* partition is healed when the duration elapses —
+        overlapping partitions scheduled with different lifetimes keep
+        their own clocks (healing everything would end them early).
+        """
         side_a, side_b = list(side_a), list(side_b)
+        sides = f"{side_a}|{side_b}"
 
         def split() -> None:
-            self.network.partition(side_a, side_b)
-            self.log.append(
-                FailureEvent(self.network.env.now, "partition", f"{side_a}|{side_b}")
-            )
+            handle = self.network.partition(side_a, side_b)
+            self.log.append(FailureEvent(self.network.env.now, "partition", sides))
+            if duration is not None:
+                self._at(
+                    self.network.env.now + duration,
+                    lambda: self._heal_one(handle, sides),
+                )
 
         self._at(time, split)
-        if duration is not None:
-            self._at(time + duration, self._heal)
 
     # -- churn ----------------------------------------------------------------------
 
@@ -130,7 +137,12 @@ class FailureInjector:
             node.restart()
             self.log.append(FailureEvent(self.network.env.now, "restart", host))
 
+    def _heal_one(self, handle, sides: str) -> None:
+        if self.network.heal_partition(handle):
+            self.log.append(FailureEvent(self.network.env.now, "heal", sides))
+
     def _heal(self) -> None:
+        """Heal *everything* (manual escape hatch, not used by timers)."""
         self.network.heal_partitions()
         self.log.append(FailureEvent(self.network.env.now, "heal", "*"))
 

@@ -122,9 +122,27 @@ class Network:
 
     # -- partitions ----------------------------------------------------------------
 
-    def partition(self, side_a: Iterable[str], side_b: Iterable[str]) -> None:
-        """Block all traffic between the two host groups."""
-        self._partitions.append((set(side_a), set(side_b)))
+    def partition(
+        self, side_a: Iterable[str], side_b: Iterable[str]
+    ) -> Tuple[Set[str], Set[str]]:
+        """Block all traffic between the two host groups.
+
+        Returns a handle identifying *this* partition; pass it to
+        :meth:`heal_partition` to remove only this split.  Overlapping
+        partitions with different lifetimes stay independent that way —
+        healing one must not heal the others.
+        """
+        handle = (set(side_a), set(side_b))
+        self._partitions.append(handle)
+        return handle
+
+    def heal_partition(self, handle: Tuple[Set[str], Set[str]]) -> bool:
+        """Remove one partition (by handle identity); True if it was active."""
+        for index, active in enumerate(self._partitions):
+            if active is handle:
+                del self._partitions[index]
+                return True
+        return False
 
     def heal_partitions(self) -> None:
         """Remove every active partition."""
@@ -147,9 +165,13 @@ class Network:
         src_name, dst_name = message.src[0], message.dst[0]
         if dst_name not in self.hosts:
             raise UnknownHostError(dst_name)
-        src_node = self.hosts.get(src_name)
+        if src_name not in self.hosts:
+            # Symmetric with the destination check: a spoofed/typo'd source
+            # is a caller bug, not a droppable network condition.
+            raise UnknownHostError(src_name)
+        src_node = self.hosts[src_name]
 
-        if src_node is not None and not src_node.up:
+        if not src_node.up:
             self.trace.on_drop(self.env.now, message, reason="src-down")
             return
         if self.partitioned(src_name, dst_name):

@@ -114,3 +114,52 @@ class TestQuery:
         first = [a.key() for a in cache.query()]
         second = [a.key() for a in cache.query()]
         assert first == second
+
+
+class TestMetrics:
+    @pytest.fixture
+    def metrics(self):
+        from repro.obs import Observability
+
+        return Observability(enabled=True).metrics
+
+    @pytest.fixture
+    def cache(self, clock, metrics):
+        return AdvertisementCache(clock=lambda: clock["now"], metrics=metrics)
+
+    def _counter(self, metrics, name):
+        counter = metrics.counters.get(name)
+        return counter.value if counter is not None else 0
+
+    def test_get_hit_and_expiry_counted(self, cache, clock, metrics):
+        advertisement = _peer_adv("p1")
+        cache.publish(advertisement, lifetime=10.0)
+        assert cache.get(advertisement.key()) is not None
+        assert self._counter(metrics, "discovery.cache_hit") == 1
+        clock["now"] = 11.0
+        assert cache.get(advertisement.key()) is None
+        assert self._counter(metrics, "discovery.cache_expired") == 1
+        assert self._counter(metrics, "discovery.cache_hit") == 1
+
+    def test_query_counts_live_matches_and_purges(self, cache, clock, metrics):
+        cache.publish(_peer_adv("p1"), lifetime=5.0)
+        cache.publish(_peer_adv("p2"), lifetime=50.0)
+        cache.publish(_peer_adv("p3"), lifetime=50.0)
+        clock["now"] = 10.0
+        results = cache.query(PeerAdvertisement)
+        assert len(results) == 2
+        assert self._counter(metrics, "discovery.cache_hit") == 2
+        assert self._counter(metrics, "discovery.cache_expired") == 1
+
+    def test_get_miss_emits_nothing(self, cache, metrics):
+        assert cache.get("ghost") is None
+        assert self._counter(metrics, "discovery.cache_hit") == 0
+        assert self._counter(metrics, "discovery.cache_expired") == 0
+
+    def test_cache_without_metrics_still_works(self, clock):
+        bare = AdvertisementCache(clock=lambda: clock["now"])
+        advertisement = _peer_adv("p1")
+        bare.publish(advertisement, lifetime=1.0)
+        assert bare.get(advertisement.key()) is not None
+        clock["now"] = 2.0
+        assert bare.get(advertisement.key()) is None

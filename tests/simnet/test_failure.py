@@ -77,6 +77,25 @@ class TestPartitions:
         env.run(until=100.0)
         assert network.partitioned("a", "b")
 
+    def test_overlapping_partitions_heal_independently(
+        self, env, network, injector
+    ):
+        """Regression: each timed partition heals only *itself*.  The old
+        timer called heal-everything, so the first expiry ended every
+        overlapping split early."""
+        for name in ("a", "b", "c"):
+            network.add_host(name)
+        injector.partition_at(1.0, ["a"], ["b"], duration=2.0)
+        injector.partition_at(1.5, ["a"], ["c"], duration=10.0)
+        env.run(until=4.0)  # first split healed at t=3
+        assert not network.partitioned("a", "b")
+        assert network.partitioned("a", "c")  # must survive the first heal
+        env.run(until=12.0)
+        assert not network.partitioned("a", "c")
+        heals = [event for event in injector.log if event.kind == "heal"]
+        assert len(heals) == 2
+        assert "'b'" in heals[0].target and "'c'" in heals[1].target
+
 
 class TestChurn:
     def test_churn_generates_crashes_and_recoveries(self, env, network, injector):

@@ -137,6 +137,12 @@ class TestDelivery:
         with pytest.raises(UnknownHostError):
             socket.send(("ghost", 1), payload="x")
 
+    def test_unknown_source_raises(self, env, network):
+        network.add_host("b")
+        with pytest.raises(UnknownHostError) as excinfo:
+            network.send(Message(src=("ghost", 1), dst=("b", 700), payload="x"))
+        assert "ghost" in str(excinfo.value)
+
     def test_duplicate_host_rejected(self, network):
         network.add_host("dup")
         with pytest.raises(ValueError):
@@ -198,6 +204,17 @@ class TestFailureModes:
         sa.send(("b", 700), payload="after-heal")
         env.run()
         assert got == ["after-heal"]
+
+    def test_heal_partition_removes_only_that_split(self, env, network):
+        for name in ("a", "b", "c"):
+            network.add_host(name)
+        first = network.partition(["a"], ["b"])
+        second = network.partition(["a"], ["c"])
+        assert network.heal_partition(first)
+        assert not network.partitioned("a", "b")
+        assert network.partitioned("a", "c")  # overlapping split still active
+        assert network.heal_partition(second)
+        assert not network.heal_partition(second)  # already healed
 
     def test_message_in_flight_to_crashing_host_dropped(self, env, network):
         a, b = network.add_host("a"), network.add_host("b")
