@@ -1,6 +1,6 @@
 # Developer conveniences for the Whisper reproduction.
 
-.PHONY: install test bench examples figures overload exactly-once all clean
+.PHONY: install test bench examples figures overload exactly-once check check-self-test all clean
 
 install:
 	python setup.py develop
@@ -30,6 +30,12 @@ overload:
 exactly-once:
 	python -m repro campaign --seed 42 --duration 60 --workload enroll --loss 0.01
 	python -m repro campaign --seed 42 --duration 60 --workload enroll --loss 0.01 --no-journal
+
+check:
+	python -m repro check --seeds 5 --schedules 50
+
+check-self-test:
+	python -m repro check --self-test
 
 outputs:
 	pytest tests/ 2>&1 | tee test_output.txt

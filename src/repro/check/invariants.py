@@ -1,0 +1,192 @@
+"""Protocol safety invariants, as reusable audit functions + a registry.
+
+Each function inspects live system state and returns human-readable
+violation strings (empty list = invariant holds).  They are shared with
+the fault campaign's post-run audit (:mod:`repro.core.campaign`); the
+schedule checker additionally evaluates them **after every slice** of a
+run through a stateful :class:`InvariantRegistry`, which also tracks
+cursors for the invariants that are about *trajectories* (per-peer
+accepted epochs must never regress) rather than final states.
+
+The invariants:
+
+* **election safety** — every announced epoch is owned by its announcer,
+  each peer's announced epochs strictly increase, and no full epoch is
+  announced by two peers (at most one coordinator per epoch);
+* **epoch monotonicity** — the epoch a peer has *accepted* never
+  regresses (a regression means a stale coordinator re-captured it);
+* **no stale result** — the proxy never delivers a result under an epoch
+  lower than one it already delivered for the same group;
+* **exactly-once** — no invocation id is applied more than once across
+  all backend effect ledgers (journal-enabled runs only);
+* **queue bound** — no member's admission ledger exceeds the configured
+  bound;
+* **convergence** — after cooldown, at most one live peer claims
+  coordination (final check, meaningless mid-fault);
+* **eventual rebind** — a post-cooldown probe completes within its
+  deadline budget (checked by the explorer, which owns the probe).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+from ..election.epoch import Epoch
+
+__all__ = [
+    "announced_epoch_violations",
+    "stale_result_violations",
+    "effect_totals",
+    "exactly_once_violations",
+    "queue_bound_violations",
+    "convergence_violations",
+    "InvariantRegistry",
+]
+
+
+# -- shared audit functions (also used by the fault campaign) --------------------------
+
+
+def announced_epoch_violations(peers) -> List[str]:
+    """Election safety over the peers' announcement logs."""
+    violations: List[str] = []
+    seen: Dict[Tuple[int, str], str] = {}
+    for peer in peers:
+        elector = peer.coordinator_mgr.elector
+        previous = None
+        for when, epoch in elector.announced:
+            if epoch.owner_hex != peer.peer_id.uuid_hex:
+                violations.append(
+                    f"{peer.name}: announced {epoch} it does not own "
+                    f"(t={when:.3f})"
+                )
+            if previous is not None and not previous < epoch:
+                violations.append(
+                    f"{peer.name}: announced {epoch} after {previous} "
+                    f"(t={when:.3f}, not increasing)"
+                )
+            previous = epoch
+            holder = seen.get(epoch.key())
+            if holder is not None and holder != peer.name:
+                violations.append(
+                    f"epoch {epoch} announced by both {holder} and {peer.name}"
+                )
+            seen[epoch.key()] = peer.name
+    return violations
+
+
+def stale_result_violations(proxy) -> List[str]:
+    """Delivered-result epochs must be monotone per group."""
+    violations: List[str] = []
+    high: Dict[object, Epoch] = {}
+    for group_id, epoch in proxy.result_epoch_log:
+        last = high.get(group_id)
+        if last is not None and epoch < last:
+            violations.append(
+                f"proxy delivered result under {epoch} after {last} "
+                f"(group {group_id})"
+            )
+        if last is None or epoch > last:
+            high[group_id] = epoch
+    return violations
+
+
+def effect_totals(peers) -> Counter:
+    """invocation id -> application count over all distinct backends."""
+    totals: Counter = Counter()
+    seen_backends = set()
+    for peer in peers:
+        backend = peer.implementation.backend
+        if id(backend) in seen_backends:
+            continue
+        seen_backends.add(id(backend))
+        totals.update(backend.effect_counts())
+    return totals
+
+
+def exactly_once_violations(peers) -> List[str]:
+    """No invocation id applied more than once, ledger-wide."""
+    return [
+        f"invocation {invocation_id} applied {count} times "
+        f"(exactly-once violated)"
+        for invocation_id, count in sorted(effect_totals(peers).items())
+        if count > 1
+    ]
+
+
+def queue_bound_violations(peers, bound: Optional[int]) -> List[str]:
+    """No admission ledger entry may exceed the configured queue bound."""
+    if bound is None:
+        return []
+    violations: List[str] = []
+    for peer in peers:
+        for member, state in peer._member_load.items():
+            if state.outstanding > bound:
+                violations.append(
+                    f"{peer.name}: member {member} has {state.outstanding} "
+                    f"outstanding (> bound {bound})"
+                )
+    return violations
+
+
+def convergence_violations(peers) -> List[str]:
+    """At most one live self-believed coordinator (post-cooldown only)."""
+    claimants = [
+        peer.name
+        for peer in peers
+        if peer.node.up and peer.coordinator_mgr.is_coordinator
+    ]
+    if len(claimants) > 1:
+        return [
+            f"{len(claimants)} live peers claim coordination "
+            f"after cooldown: {claimants}"
+        ]
+    return []
+
+
+# -- the stateful registry ----------------------------------------------------------
+
+
+class InvariantRegistry:
+    """Step + final invariant evaluation for one explored run.
+
+    A registry instance is per-run: it carries the accepted-epoch cursors
+    that turn per-peer epoch monotonicity from a final-state property
+    into a trajectory property (a regression that later self-corrects
+    would be invisible to an end-of-run audit).
+    """
+
+    def __init__(self, queue_bound: Optional[int] = None, dedup_journal: bool = True):
+        self.queue_bound = queue_bound
+        self.dedup_journal = dedup_journal
+        self._accepted: Dict[str, Epoch] = {}
+
+    def check_step(self, service) -> List[str]:
+        """Invariants that must hold at every instant of the run."""
+        peers = service.group.peers
+        violations = announced_epoch_violations(peers)
+        violations.extend(self._accepted_epoch_step(peers))
+        violations.extend(stale_result_violations(service.proxy))
+        if self.dedup_journal:
+            violations.extend(exactly_once_violations(peers))
+        violations.extend(queue_bound_violations(peers, self.queue_bound))
+        return violations
+
+    def check_final(self, service) -> List[str]:
+        """Invariants that only make sense once the faults have drained."""
+        return convergence_violations(service.group.peers)
+
+    def _accepted_epoch_step(self, peers) -> List[str]:
+        violations: List[str] = []
+        for peer in peers:
+            current = peer.coordinator_mgr.epoch
+            last = self._accepted.get(peer.name)
+            if last is not None and current < last:
+                violations.append(
+                    f"{peer.name}: accepted epoch regressed from {last} "
+                    f"to {current}"
+                )
+            if last is None or current > last:
+                self._accepted[peer.name] = current
+        return violations

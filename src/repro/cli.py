@@ -9,6 +9,8 @@
     python -m repro campaign [--duration 90] [--workload enroll] [--loss 0.01]
                              [--no-journal] [--json]
     python -m repro overload [--rates 125,250,375,500] [--queue-bound 8]
+    python -m repro check [--seeds 5] [--schedules 50] [--timeout 300]
+                          [--self-test] [--replay FILE] [--out FILE] [--json]
     python -m repro trace [--samples 20] [--crash] [--last 5] [--json]
     python -m repro metrics [--samples 50] [--crash] [--json | --csv]
 
@@ -251,6 +253,68 @@ def _cmd_overload(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    """Schedule exploration: 0 = clean, 1 = counterexample, 2 = checker broken."""
+    from .check import CheckScenario, ScheduleExplorer, replay_repro, self_test
+
+    if args.replay:
+        ok, result, expected = replay_repro(args.replay)
+        payload = {
+            "replay": args.replay,
+            "match": ok,
+            "digest": result.digest(),
+            "expected_digest": expected["digest"],
+            "violations": result.violations,
+        }
+        if args.json:
+            print(json_module.dumps(payload, indent=2))
+        elif ok:
+            print(f"replay {args.replay}: byte-identical "
+                  f"({len(result.violations)} violation(s) reproduced)")
+            for violation in result.violations:
+                print(f"  - {violation}")
+        else:
+            print(f"replay {args.replay}: DIVERGED "
+                  f"(got {result.digest()[:16]}…, "
+                  f"expected {expected['digest'][:16]}…)")
+        return 0 if ok else 2
+
+    if args.self_test:
+        outcome = self_test(
+            seed=args.seed,
+            repro_path=args.out,
+            time_budget=args.timeout,
+        )
+        if args.json:
+            print(json_module.dumps(outcome, indent=2))
+        else:
+            status = "OK" if outcome["ok"] else "FAILED"
+            print(f"checker self-test (epoch fencing disabled): {status}")
+            for key in ("violations", "shrunk_schedule", "shrink_runs",
+                        "repro_path", "replay_ok", "tries"):
+                if key in outcome:
+                    print(f"  {key:16}: {outcome[key]}")
+        # The self-test *must* catch the seeded regression: a clean pass
+        # means the checker itself is broken, which outranks a mere
+        # counterexample.
+        return 0 if outcome["ok"] else 2
+
+    explorer = ScheduleExplorer(
+        CheckScenario(),
+        seeds=range(args.seed, args.seed + args.seeds),
+        schedules_per_seed=args.schedules,
+        max_ops=args.max_ops,
+        time_budget=args.timeout,
+        repro_path=args.out,
+    )
+    report = explorer.explore()
+    if args.json:
+        print(json_module.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.format())
+    return 0 if report.clean else 1
+
+
 def _observed_run(
     seed: int, samples: int, crash: bool = False, replicas: int = 4
 ) -> Tuple[WhisperSystem, object]:
@@ -419,6 +483,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-request deadline budget in seconds",
     )
     overload.set_defaults(func=_cmd_overload, duration=5.0)
+
+    check = subparsers.add_parser(
+        "check",
+        parents=[seed_parent, json_parent],
+        help="schedule exploration: invariants under perturbed orderings",
+    )
+    check.add_argument(
+        "--seeds", type=int, default=5,
+        help="how many root seeds to explore (starting at --seed)",
+    )
+    check.add_argument(
+        "--schedules", type=int, default=50,
+        help="perturbed schedules per seed (plus one baseline run each)",
+    )
+    check.add_argument(
+        "--max-ops", type=int, default=4,
+        help="maximum fault ops per random schedule",
+    )
+    check.add_argument(
+        "--timeout", type=float, default=None,
+        help="wall-clock budget in real seconds (truncates, never fails)",
+    )
+    check.add_argument(
+        "--out", default="whisper-check-repro.json",
+        help="where to write the repro file if a violation is found",
+    )
+    check.add_argument(
+        "--replay", metavar="FILE", default=None,
+        help="re-execute a saved repro file and verify its digest",
+    )
+    check.add_argument(
+        "--self-test", action="store_true",
+        help="disable epoch fencing and require the checker to catch, "
+             "shrink, and replay the resulting violation",
+    )
+    check.set_defaults(func=_cmd_check)
 
     trace = subparsers.add_parser(
         "trace",

@@ -61,6 +61,21 @@ DELEGATION_TIMEOUT = 1.0
 #: backs off and retries — never re-executed concurrently.
 PARK_TIMEOUT = 2 * DELEGATION_TIMEOUT
 
+#: How often a takeover coordinator re-pulls journal state from group
+#: members that have not answered for its term yet (lost pulls and
+#: members that re-appear after a partition heal are retried here).
+JOURNAL_SYNC_PERIOD = 0.5
+
+#: How long a coordinator waits for its write-intent quorum before
+#: bouncing the mutation ``busy``.  Must sit well below the proxy's
+#: per-attempt timeout so a blocked commit converts into an orderly
+#: retry, not a client-visible stall.
+INTENT_TIMEOUT = 0.4
+
+#: How long an intent-status probe to an in-doubt intent's origin stays
+#: outstanding before another retry may re-probe.
+INTENT_RESOLVE_TIMEOUT = 1.0
+
 #: Period of semantic-advertisement republication (JXTA republishes
 #: advertisements periodically; this is what repopulates the rendezvous'
 #: SRDI index after a rendezvous restart).
@@ -92,6 +107,10 @@ class ExecRequest:
     #: retry/rebind (``request_id`` stays per-attempt).  ``None`` (legacy
     #: callers) disables dedup for this request.
     invocation_id: Optional[str] = None
+    #: Which attempt of the logical call this is (1 = first send).  A
+    #: takeover coordinator uses it to tell retries — which may have been
+    #: applied elsewhere under an earlier term — from fresh invocations.
+    attempt: int = 1
 
 
 @dataclass
@@ -130,6 +149,30 @@ class _Delegation:
     reply: Optional[ExecReply] = None
 
 
+@dataclass
+class _IntentWait:
+    """One commit barrier's collection state (keyed by intent token)."""
+
+    needed: int  # remote acks required for a majority incl. ourselves
+    done: Any  # simulation event: decided early (quorum / short-circuit)
+    sent: int = 0
+    acks: int = 0
+    responses: int = 0
+    #: A member already holds the invocation's DONE entry: replay it.
+    done_entry: Optional[JournalEntry] = None
+    #: Origins of rival in-flight intents members reported (in-doubt).
+    held: Optional[set] = None
+    #: Highest epoch a refusing member knew (fencing: we are deposed).
+    max_seen: Optional[Epoch] = None
+
+    def decided(self) -> bool:
+        return (
+            self.done_entry is not None
+            or self.acks >= self.needed
+            or self.responses >= self.sent
+        )
+
+
 class BPeer(Peer):
     """One replica in a semantic b-peer group."""
 
@@ -146,6 +189,7 @@ class BPeer(Peer):
         queue_bound: Optional[int] = None,
         dedup_journal: bool = True,
         journal_capacity: int = 4096,
+        epoch_fencing: bool = True,
         name: Optional[str] = None,
     ):
         super().__init__(node, name=name)
@@ -153,6 +197,16 @@ class BPeer(Peer):
         self.group_name = group_name
         self.implementation = implementation
         self.load_sharing = load_sharing
+        #: Split-brain fencing (PR 2).  ``False`` restores the pre-epoch
+        #: behaviour — stale-term requests are served and stale
+        #: announcements accepted — which the schedule-exploration
+        #: checker's self-test uses to prove its invariants have teeth.
+        self.epoch_fencing = epoch_fencing
+        #: Decision-point hook fired right before an admitted request's
+        #: side effect is applied (``hook(bpeer, request)``).  A fault
+        #: injector may crash the node here; execution is then abandoned,
+        #: modelling a crash between admission and commit.
+        self.pre_commit_hook = None
         #: How a coordinating replica spreads load-shared work.
         self.dispatch = dispatch_policy(dispatch)
         #: Admission control: max dispatched-but-unfinished requests per
@@ -165,6 +219,7 @@ class BPeer(Peer):
             group_id,
             heartbeat_interval=heartbeat_interval,
             miss_threshold=miss_threshold,
+            epoch_fencing=epoch_fencing,
         )
         #: Exactly-once machinery: the dedup/result journal plus requests
         #: parked behind an in-flight duplicate (per invocation id).
@@ -176,6 +231,32 @@ class BPeer(Peer):
         #: ``(coordinator, epoch)`` the journal was last pushed to, so a
         #: re-announced term does not re-send the transfer.
         self._journal_pushed: Optional[Tuple[PeerId, Epoch]] = None
+        #: Takeover journal sync (coordinator side): the term being
+        #: synced, the members that answered our pull for it, the retried
+        #: mutations gated until the sync covers the current view, and
+        #: the pull loop driving it.  A member-push alone cannot cover a
+        #: coordinator whose election announcement was lost (a healed
+        #: minority partition winning on epoch height), so the takeover
+        #: *pulls* until every view member has answered.
+        self._sync_epoch: Optional[Epoch] = None
+        self._sync_answered: set = set()
+        self._sync_parked: List[ExecRequest] = []
+        self._sync_proc = None
+        #: Every member ever observed in the group (graceful leavers are
+        #: pruned, failure-detector evictions are NOT): the sync must hear
+        #: from peers *believed dead* too, because a partitioned or
+        #: crashed ex-coordinator may be the only holder of an applied
+        #: effect — executing its retries before it answers (post-heal /
+        #: post-restart) is exactly the duplicate we gate against.
+        self._sync_roster: set = set()
+        self.groups.on_membership_change(self._on_roster_change)
+        #: Commit barrier (split-brain write fencing): outstanding
+        #: write-intent rounds keyed by token, and invocations whose
+        #: in-doubt foreign intent we are currently asking the origin
+        #: about (one probe outstanding per invocation).
+        self._intent_waits: Dict[int, _IntentWait] = {}
+        self._intent_tokens = itertools.count(1)
+        self._intent_resolving: set = set()
         self.requests_executed = 0
         self.requests_delegated = 0
         self.requests_redirected = 0
@@ -274,6 +355,13 @@ class BPeer(Peer):
         self._queue.items.clear()
         self._parked.clear()
         self._journal_pushed = None
+        if self._sync_proc is not None and self._sync_proc.is_alive:
+            sync_proc, self._sync_proc = self._sync_proc, None
+            if sync_proc is not self.env.active_process:
+                sync_proc.interrupt("shutdown")
+        self._sync_epoch = None
+        self._sync_answered = set()
+        self._bounce_sync_parked()
 
     def bootstrap_election(self) -> None:
         """Trigger the group's first election (call on one member)."""
@@ -294,7 +382,7 @@ class BPeer(Peer):
         if request.group_id != self.group_id or not self.node.up:
             return
         self.endpoint.add_route(request.reply_to, request.reply_addr)
-        if request.observed_epoch is not None:
+        if request.observed_epoch is not None and self.epoch_fencing:
             # Client-carried fencing token: a coordinator whose term is
             # below it re-elects (minting above it) instead of serving
             # results the proxy would have to discard as stale.
@@ -322,7 +410,7 @@ class BPeer(Peer):
             )
             return
         current = self.coordinator_mgr.epoch
-        if request.epoch is not None and request.epoch < current:
+        if self.epoch_fencing and request.epoch is not None and request.epoch < current:
             # Fencing: the proxy is bound to a term this group has moved
             # past (e.g. we crashed/partitioned and were re-elected under a
             # fresh epoch).  Even though we ARE the coordinator, serving a
@@ -342,6 +430,8 @@ class BPeer(Peer):
             )
             return
         if self._park_if_in_flight(request):
+            return
+        if self._park_for_sync(request):
             return
         self._admit(request)
 
@@ -399,6 +489,12 @@ class BPeer(Peer):
         self._parked.setdefault(invocation_id, []).append(request)
         self.requests_parked += 1
         self.node.network.obs.metrics.inc("bpeer.parked")
+        if entry.origin is not None and entry.origin != self.peer_id:
+            # The in-flight marker is another peer's write intent
+            # (commit barrier).  Ask the origin what became of it — a
+            # DONE answer replays to this parked retry, an "abandoned"
+            # answer clears the intent so the next retry may execute.
+            self._resolve_intent(invocation_id, entry.origin)
         timer = self.env.timeout(PARK_TIMEOUT)
         timer.add_callback(lambda _event: self._expire_parked(invocation_id, request))
         return True
@@ -452,6 +548,11 @@ class BPeer(Peer):
         invocation_id = request.invocation_id
         if reply.kind != "result":
             self.journal.abandon(invocation_id)
+            if self.implementation.mutating:
+                # Members recorded our write intent at the barrier;
+                # withdraw it so a retry is not blocked behind a marker
+                # for an attempt that applied nothing.
+                self._clear_intent(invocation_id, self.peer_id)
             self._flush_parked(invocation_id, reply)
             return reply
         epoch = reply.epoch if reply.epoch is not None else self.coordinator_mgr.epoch
@@ -501,7 +602,14 @@ class BPeer(Peer):
 
     def _on_coordinator_announced(self, coordinator: PeerId) -> None:
         """Journal-transfer handshake: ship DONE entries to a new winner."""
-        if not self.journal_enabled or coordinator == self.peer_id:
+        if not self.journal_enabled:
+            return
+        if coordinator == self.peer_id:
+            # We are the winner: pull the group's journal state into our
+            # fresh term (the push below cannot help us — members that
+            # never heard our announcement never push).
+            if self.implementation.mutating:
+                self._start_journal_sync()
             return
         # Only mutating results are replicated knowledge worth shipping —
         # a read-only entry replays locally at best, and pushing it would
@@ -530,6 +638,183 @@ class BPeer(Peer):
         self._journal_pushed = term
         self.node.network.obs.metrics.inc("bpeer.journal_pushes")
 
+    # -- exactly-once: takeover journal sync (pull side) --------------------------------
+    #
+    # The eager replication and the member push above are both
+    # announcement-driven, so they share a blind spot: a coordinator whose
+    # COORDINATOR message never reached the group (elected alone inside a
+    # partition, winning after the heal because its epoch is highest)
+    # takes over without ever being offered the entries the other side
+    # completed meanwhile.  The takeover sync closes it from the other
+    # direction — the new coordinator *pulls* from every member of its
+    # current view, keeps re-pulling members that have not answered
+    # (including ones that re-appear after a heal), and gates retried
+    # mutations it does not recognise until the view is covered.
+
+    def _start_journal_sync(self) -> None:
+        """Begin (or continue) pulling journal state for our new term."""
+        epoch = self.coordinator_mgr.epoch
+        if self._sync_epoch == epoch:
+            return
+        self._sync_epoch = epoch
+        self._sync_answered = set()
+        if self._sync_proc is not None and self._sync_proc.is_alive:
+            if self._sync_proc is not self.env.active_process:
+                self._sync_proc.interrupt("superseded")
+        self._sync_proc = self.node.spawn(
+            self._journal_sync_loop(epoch), name=f"bpeer-journal-sync:{self.name}"
+        )
+
+    def _journal_sync_loop(self, epoch: Epoch):
+        """Pull DONE entries from unanswered view members until covered."""
+        try:
+            while (
+                self.node.up
+                and self.coordinator_mgr.is_coordinator
+                and self.coordinator_mgr.epoch == epoch
+            ):
+                pending = self._sync_pending()
+                if not pending:
+                    # View covered *now*; parked retries are answerable.
+                    # Keep watching: a member re-joining the view (heal,
+                    # restart) re-opens the pull until it answers too.
+                    self._drain_sync_parked()
+                else:
+                    for member in pending:
+                        try:
+                            self.groups.send_to_member(
+                                self.group_id,
+                                member,
+                                PROTO_DELEGATE,
+                                ("journal-pull", epoch),
+                                category="bpeer-journal",
+                                size_bytes=64,
+                            )
+                        except UnresolvablePeerError:
+                            continue
+                    self.node.network.obs.metrics.inc("bpeer.journal_pulls")
+                yield self.env.timeout(JOURNAL_SYNC_PERIOD)
+        except Interrupt:
+            return
+        # Term over (deposed or higher epoch seen): bounce what we gated
+        # so the proxy re-binds and retries under the current coordinator.
+        self._bounce_sync_parked()
+
+    def _on_roster_change(self, group_id: PeerGroupId, peer_id: PeerId, change: str) -> None:
+        if group_id != self.group_id:
+            return
+        if change == "joined":
+            self._sync_roster.add(peer_id)
+        elif change == "left":
+            # Graceful departure: the leaver flushed its state and owes no
+            # answer.  ("removed" — believed dead — stays in the roster.)
+            self._sync_roster.discard(peer_id)
+            self._sync_answered.discard(peer_id)
+
+    def _sync_pending(self) -> List[PeerId]:
+        """Roster members that have not answered our pull for this term.
+
+        The pending set is the all-time roster, not the live view: a
+        member the failure detector evicted may hold the only copy of an
+        effect applied just before it vanished, so the sync is complete
+        only when that member answers too (after its restart or heal).
+        """
+        view = self.groups.groups.get(self.group_id)
+        if view is not None:
+            self._sync_roster.update(view.members)
+        return sorted(
+            (
+                member
+                for member in self._sync_roster
+                if member != self.peer_id and member not in self._sync_answered
+            ),
+            key=lambda member: member.uuid_hex,
+        )
+
+    def _park_for_sync(self, request: ExecRequest) -> bool:
+        """Gate a retried mutation behind the takeover sync; True if parked.
+
+        Only *retries* (attempt > 1) of mutating invocations we have no
+        journal knowledge of are gated — a first attempt cannot have been
+        applied anywhere yet, so fresh traffic never waits.  The gate is
+        bounded: the sync covers the view within a round-trip when its
+        members are reachable, unreachable members are evicted by the
+        failure detector, and the park backstop converts anything stuck
+        into a ``busy`` bounce.
+        """
+        if not self.journal_enabled or request.invocation_id is None:
+            return False
+        if not self.implementation.mutating or request.attempt <= 1:
+            return False
+        if self._sync_epoch != self.coordinator_mgr.epoch or not self._sync_pending():
+            return False
+        if self.journal.lookup(request.invocation_id) is not None:
+            return False
+        self._sync_parked.append(request)
+        self.requests_parked += 1
+        self.node.network.obs.metrics.inc("bpeer.sync_parked")
+        timer = self.env.timeout(PARK_TIMEOUT)
+        timer.add_callback(lambda _event: self._expire_sync_parked(request))
+        return True
+
+    def _expire_sync_parked(self, request: ExecRequest) -> None:
+        if request not in self._sync_parked or not self.node.up:
+            return
+        self._sync_parked.remove(request)
+        self._reply(
+            request,
+            ExecReply(
+                request_id=request.request_id,
+                kind="busy",
+                retry_after=self._retry_after_hint(),
+                epoch=self.coordinator_mgr.epoch,
+                invocation_id=request.invocation_id,
+            ),
+        )
+
+    def _drain_sync_parked(self) -> None:
+        """Answer the gated retries now that the roster's journals merged.
+
+        Replay or bounce — NEVER execute.  A parked copy may have been
+        abandoned by the proxy long ago (it retries sequentially and
+        moves on after its per-attempt timeout), and two rival
+        coordinators can each hold such a copy of the same invocation:
+        executing from the drain lets both apply it.  Bouncing ``busy``
+        instead means execution only ever happens on the direct-arrival
+        path, for the proxy's single *live* attempt — giving per-invocation
+        mutual exclusion for free from the proxy's sequential retries.
+        """
+        if not self._sync_parked:
+            return
+        parked, self._sync_parked = self._sync_parked, []
+        for request in parked:
+            if self._journal_answer(request):
+                continue
+            self._reply(
+                request,
+                ExecReply(
+                    request_id=request.request_id,
+                    kind="busy",
+                    retry_after=0.0,
+                    epoch=self.coordinator_mgr.epoch,
+                    invocation_id=request.invocation_id,
+                ),
+            )
+
+    def _bounce_sync_parked(self) -> None:
+        parked, self._sync_parked = self._sync_parked, []
+        for request in parked:
+            self._reply(
+                request,
+                ExecReply(
+                    request_id=request.request_id,
+                    kind="busy",
+                    retry_after=self._retry_after_hint(),
+                    epoch=self.coordinator_mgr.epoch,
+                    invocation_id=request.invocation_id,
+                ),
+            )
+
     def _merge_journal_entries(self, entries: List[JournalEntry]) -> None:
         for entry in entries:
             if self.journal.merge(entry, now=self.env.now):
@@ -537,6 +822,162 @@ class BPeer(Peer):
             # Retries parked behind this invocation (it raced the
             # replication) are answerable now.
             self._serve_parked(entry.invocation_id)
+
+    # -- exactly-once: commit barrier (quorum write intent) ------------------------------
+    #
+    # The journal replication above is completion-driven, which leaves a
+    # split-brain window: a coordinator isolated *after* applying an
+    # effect cannot ship the DONE entry, and a rival coordinator (live
+    # majority, or a deposed term the proxy fell back to) executes the
+    # retry afresh — a double application no amount of after-the-fact
+    # syncing can undo.  The commit barrier closes the window *before*
+    # the effect: a mutating invocation executes only after a majority of
+    # the group has durably recorded the coordinator's write intent.
+    # Majorities intersect, so whichever coordinator reaches quorum
+    # first is visible to any rival's barrier — the rival sees the
+    # intent ("held"), bounces the retry, and the in-doubt question
+    # "did the origin apply it?" is answered by the origin itself (its
+    # apply + journal ``complete`` are atomic in simulation time), never
+    # by a timeout.
+
+    def _commit_cohort(self) -> List[PeerId]:
+        """Peers whose acks count toward the commit quorum (not us).
+
+        The all-time roster, not the live view: sizing the quorum to the
+        failure detector's view lets an isolated minority shrink its
+        denominator until it can "reach quorum" alone — the exact
+        split-brain the barrier exists to prevent.
+        """
+        view = self.groups.groups.get(self.group_id)
+        if view is not None:
+            self._sync_roster.update(view.members)
+        return sorted(
+            (member for member in self._sync_roster if member != self.peer_id),
+            key=lambda member: member.uuid_hex,
+        )
+
+    def _commit_barrier(self, request: ExecRequest):
+        """Quorum write intent before a mutating effect.
+
+        Returns ``None`` when execution may proceed, or the
+        :class:`ExecReply` to answer instead (a journal replay when a
+        member already holds the result, else a ``busy`` bounce).
+        """
+        if not self.journal_enabled or request.invocation_id is None:
+            return None
+        if not self.implementation.mutating:
+            return None
+        cohort = self._commit_cohort()
+        needed = (len(cohort) + 1) // 2 + 1 - 1
+        if needed <= 0:
+            # Single-replica group: we are our own majority — no
+            # messages, identical timing to the pre-barrier path.
+            return None
+        invocation_id = request.invocation_id
+        epoch = self.coordinator_mgr.epoch
+        token = next(self._intent_tokens)
+        wait = _IntentWait(needed=needed, done=self.env.event(), held=set())
+        self._intent_waits[token] = wait
+        for member in cohort:
+            try:
+                self.groups.send_to_member(
+                    self.group_id,
+                    member,
+                    PROTO_DELEGATE,
+                    ("intent", token, invocation_id, epoch, self.peer_id),
+                    category="bpeer-journal",
+                    size_bytes=96,
+                )
+                wait.sent += 1
+            except UnresolvablePeerError:
+                continue
+        self.node.network.obs.metrics.inc("bpeer.commit_intents")
+        if wait.sent >= needed:
+            timer = self.env.timeout(INTENT_TIMEOUT)
+            yield AnyOf(self.env, [wait.done, timer])
+        self._intent_waits.pop(token, None)
+        if wait.done_entry is not None:
+            # Someone already holds the canonical result: replay, never
+            # re-execute.
+            self.journal.merge(wait.done_entry, now=self.env.now)
+            self._serve_parked(invocation_id)
+            replayed = self._journal_done(request)
+            if replayed is not None:
+                return replayed
+        if wait.acks >= needed:
+            return None
+        # Blocked: no quorum (partitioned/deposed/rival intent).  Bounce
+        # the proxy; it backs off, re-binds, and retries elsewhere.
+        self.node.network.obs.metrics.inc("bpeer.commit_blocked")
+        if self.epoch_fencing and wait.max_seen is not None:
+            # A refusing member knew a fresher term — stand for
+            # re-election above it instead of limping on deposed.
+            self.coordinator_mgr.elector.observe_external_epoch(wait.max_seen)
+        for origin in wait.held:
+            self._resolve_intent(invocation_id, origin)
+        entry = self.journal.lookup(invocation_id)
+        if entry is not None and not entry.done and (
+            entry.origin is None or entry.origin == self.peer_id
+        ):
+            # Our own intent: we know we did not apply — withdraw it so
+            # a later attempt (here or at a rival) may execute afresh.
+            self.journal.abandon(invocation_id)
+            self._clear_intent(invocation_id, self.peer_id)
+        busy = ExecReply(
+            request_id=request.request_id,
+            kind="busy",
+            retry_after=self._retry_after_hint(),
+            epoch=self.coordinator_mgr.epoch,
+            invocation_id=invocation_id,
+        )
+        self._flush_parked(invocation_id, busy)
+        return busy
+
+    def _resolve_intent(self, invocation_id: str, origin: Optional[PeerId]) -> None:
+        """Ask an in-doubt intent's origin whether the effect was applied.
+
+        The origin's answer is authoritative: a DONE entry means applied
+        (we merge and replay), no entry means abandoned (we clear the
+        intent group-wide so a retry may execute).  No answer — origin
+        crashed or partitioned — keeps the invocation blocked until the
+        origin is reachable again; guessing here is the double-apply.
+        """
+        if origin is None or origin == self.peer_id:
+            return
+        if invocation_id in self._intent_resolving:
+            return
+        self._intent_resolving.add(invocation_id)
+        try:
+            self.groups.send_to_member(
+                self.group_id,
+                origin,
+                PROTO_DELEGATE,
+                ("intent-status", invocation_id, self.peer_id),
+                category="bpeer-journal",
+                size_bytes=64,
+            )
+        except UnresolvablePeerError:
+            self._intent_resolving.discard(invocation_id)
+            return
+        timer = self.env.timeout(INTENT_RESOLVE_TIMEOUT)
+        timer.add_callback(
+            lambda _event: self._intent_resolving.discard(invocation_id)
+        )
+
+    def _clear_intent(self, invocation_id: str, origin: PeerId) -> None:
+        """Best-effort broadcast: drop the origin's abandoned intent."""
+        for member in self._commit_cohort():
+            try:
+                self.groups.send_to_member(
+                    self.group_id,
+                    member,
+                    PROTO_DELEGATE,
+                    ("intent-clear", invocation_id, origin),
+                    category="bpeer-journal",
+                    size_bytes=64,
+                )
+            except UnresolvablePeerError:
+                continue
 
     # -- admission control & dispatch (coordinator-side) -------------------------------
 
@@ -568,6 +1009,7 @@ class BPeer(Peer):
                 request=request,
                 epoch=self.coordinator_mgr.epoch,
                 now=self.env.now,
+                origin=self.peer_id,
             )
         state.outstanding += 1
         obs.metrics.observe(
@@ -674,6 +1116,11 @@ class BPeer(Peer):
     def _serve(self, request: ExecRequest, target: Optional[PeerId] = None):
         if target is None:
             target = self.peer_id
+        blocked = yield from self._commit_barrier(request)
+        if blocked is not None:
+            self._reply(request, blocked)
+            self._release_load(target)
+            return
         if target != self.peer_id:
             # Spread load: the member executes and answers the proxy; its
             # completion report releases the ledger slot.
@@ -692,11 +1139,22 @@ class BPeer(Peer):
                 # Fall through to local execution; move the accounting.
                 self._release_load(target)
                 self._load_for(self.peer_id).outstanding += 1
+        if not self._fire_pre_commit(request):
+            return
         reply = yield from self._execute_or_delegate(request)
         reply = self._journal_complete(request, reply)
         self._reply(request, reply)
         self._release_load(self.peer_id)
         self._load_for(self.peer_id).qos = self.qos_profile.snapshot()
+
+    def _fire_pre_commit(self, request: ExecRequest) -> bool:
+        """Fire the pre-commit decision point; True when execution may
+        proceed.  A hook that crashes this node aborts the request before
+        its side effect — the canonical crash-between-admission-and-commit
+        window the exactly-once machinery must tolerate."""
+        if self.pre_commit_hook is not None:
+            self.pre_commit_hook(self, request)
+        return self.node.up
 
     def _execute_or_delegate(self, request: ExecRequest):
         """Try locally; on backend unavailability, try each other member."""
@@ -824,6 +1282,157 @@ class BPeer(Peer):
             # Bulk journal transfer to a freshly elected coordinator.
             if self.journal_enabled:
                 self._merge_journal_entries(payload[1])
+        elif mode == "journal-pull":
+            # A takeover coordinator asks for our DONE entries.  Always
+            # answer — an empty reply is still the "view member covered"
+            # signal the puller's gate is waiting on.
+            if self.journal_enabled:
+                entries = self.journal.export()
+                try:
+                    self.groups.send_to_member(
+                        self.group_id,
+                        src_peer,
+                        PROTO_DELEGATE,
+                        ("journal-sync-reply", payload[1], entries),
+                        category="bpeer-journal",
+                        size_bytes=96 + 288 * len(entries),
+                    )
+                except UnresolvablePeerError:
+                    pass
+        elif mode == "journal-sync-reply":
+            # A member answered our takeover pull: merge its entries and,
+            # once the whole view has answered for this term, open the
+            # gate for the retries parked behind the sync.
+            if self.journal_enabled:
+                _mode, epoch, entries = payload
+                self._merge_journal_entries(entries)
+                if (
+                    self._sync_epoch == epoch
+                    and epoch == self.coordinator_mgr.epoch
+                ):
+                    self._sync_answered.add(src_peer)
+                    if not self._sync_pending():
+                        self._drain_sync_parked()
+        elif mode == "intent":
+            # A coordinator asks us to record its write intent before it
+            # applies a mutating effect (commit barrier).
+            _mode, token, invocation_id, epoch, origin = payload
+            status: str = "ok"
+            extra: Any = None
+            seen: Optional[Epoch] = None
+            if self.journal_enabled:
+                max_seen = self.coordinator_mgr.elector.max_epoch_seen
+                if (
+                    self.epoch_fencing
+                    and epoch is not None
+                    and max_seen > epoch
+                ):
+                    # Fencing: the asker's term is already superseded —
+                    # deny it quorum and tell it what we know.
+                    status, seen = "stale", max_seen
+                else:
+                    entry = self.journal.lookup(invocation_id)
+                    if entry is not None and entry.done:
+                        status, extra = "done", entry.replicable()
+                    elif entry is not None:
+                        # A rival's intent (or the asker's own earlier
+                        # one) is already on file: report who holds it.
+                        status, extra = "held", entry.origin
+                    else:
+                        self.journal.begin(
+                            invocation_id,
+                            epoch=epoch,
+                            now=self.env.now,
+                            origin=origin,
+                        )
+                        self.node.network.obs.metrics.inc(
+                            "bpeer.intents_recorded"
+                        )
+            try:
+                self.groups.send_to_member(
+                    self.group_id,
+                    src_peer,
+                    PROTO_DELEGATE,
+                    ("intent-reply", token, status, extra, seen),
+                    category="bpeer-journal",
+                    size_bytes=96 if status != "done" else 96 + 288,
+                )
+            except UnresolvablePeerError:
+                pass
+        elif mode == "intent-reply":
+            _mode, token, status, extra, seen = payload
+            wait = self._intent_waits.get(token)
+            if wait is not None:
+                wait.responses += 1
+                if status == "ok":
+                    wait.acks += 1
+                elif status == "done":
+                    wait.done_entry = extra
+                elif status == "held":
+                    if extra == self.peer_id:
+                        # The member still holds OUR earlier intent — we
+                        # are its origin and know it was withdrawn, so it
+                        # counts as an ack.
+                        wait.acks += 1
+                    else:
+                        wait.held.add(extra)
+                elif status == "stale":
+                    if seen is not None and (
+                        wait.max_seen is None or seen > wait.max_seen
+                    ):
+                        wait.max_seen = seen
+                if wait.decided() and not wait.done.triggered:
+                    wait.done.succeed()
+        elif mode == "intent-clear":
+            # An intent's origin (or a resolver acting on its authority)
+            # withdrew it: the invocation was never applied there.
+            _mode, invocation_id, origin = payload
+            if self.journal_enabled:
+                entry = self.journal.lookup(invocation_id)
+                if entry is not None and not entry.done and entry.origin == origin:
+                    self.journal.abandon(invocation_id)
+        elif mode == "intent-status":
+            # In-doubt resolution: only we can say whether our intent's
+            # effect was applied (apply + complete are atomic here).
+            _mode, invocation_id, asker = payload
+            if self.journal_enabled:
+                entry = self.journal.lookup(invocation_id)
+                if entry is not None and entry.done:
+                    outcome: Any = entry.replicable()
+                elif entry is not None and entry.origin == self.peer_id:
+                    outcome = "pending"  # still executing — keep waiting
+                else:
+                    outcome = None  # abandoned (or never ours): not applied
+                try:
+                    self.groups.send_to_member(
+                        self.group_id,
+                        src_peer,
+                        PROTO_DELEGATE,
+                        ("intent-status-reply", invocation_id, outcome),
+                        category="bpeer-journal",
+                        size_bytes=96,
+                    )
+                except UnresolvablePeerError:
+                    pass
+        elif mode == "intent-status-reply":
+            _mode, invocation_id, outcome = payload
+            self._intent_resolving.discard(invocation_id)
+            if self.journal_enabled and outcome != "pending":
+                if outcome is None:
+                    # The origin abandoned the intent: clear it here and
+                    # group-wide so a retry may execute afresh.
+                    entry = self.journal.lookup(invocation_id)
+                    if (
+                        entry is not None
+                        and not entry.done
+                        and entry.origin == src_peer
+                    ):
+                        self.journal.abandon(invocation_id)
+                    self._clear_intent(invocation_id, src_peer)
+                else:
+                    if self.journal.merge(outcome, now=self.env.now):
+                        self.node.network.obs.metrics.inc("bpeer.journal_merges")
+                    self._serve_parked(invocation_id)
         elif mode == "relay":
             _mode, delegation_id, coordinator, request = payload
             self._queue.put(
@@ -868,6 +1477,8 @@ class BPeer(Peer):
             # would (§4.1's transparent takeover applies here too).
             reply = self._journal_done(request)
             if reply is None:
+                if not self._fire_pre_commit(request):
+                    return
                 reply = yield from self._execute_or_delegate(request)
                 reply = self._journal_complete(request, reply)
             self._reply(request, reply)
@@ -877,6 +1488,8 @@ class BPeer(Peer):
         # delegation chain; a delegate that also delegated could loop).
         reply = self._journal_done(request)
         if reply is None:
+            if not self._fire_pre_commit(request):
+                return
             reply = yield from self._execute_local(request)
             reply = self._journal_complete(request, reply)
         try:
@@ -965,6 +1578,12 @@ class BPeer(Peer):
         # peer may execute those invocations afresh.
         self._parked.clear()
         self._journal_pushed = None
+        self._sync_epoch = None
+        self._sync_answered = set()
+        self._sync_parked.clear()
+        self._sync_proc = None
+        self._intent_waits.clear()
+        self._intent_resolving.clear()
         self.journal.drop_executing()
 
     def __repr__(self) -> str:

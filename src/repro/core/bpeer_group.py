@@ -104,6 +104,7 @@ def deploy_bpeer_group(
     queue_bound: Optional[int] = None,
     dedup_journal: bool = True,
     journal_capacity: int = 4096,
+    epoch_fencing: bool = True,
     advertise_remote: bool = True,
     advertise_qos: Optional[QosMetrics] = None,
 ) -> BPeerGroup:
@@ -143,6 +144,7 @@ def deploy_bpeer_group(
             queue_bound=queue_bound,
             dedup_journal=dedup_journal,
             journal_capacity=journal_capacity,
+            epoch_fencing=epoch_fencing,
         )
         bpeer.start(rendezvous)
         # Every replica keeps the group advertisement alive (idempotent in

@@ -31,10 +31,17 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional
 
 from ..backend.datasets import student_database
 from ..backend.services import student_enrollment
+from ..check.invariants import (
+    announced_epoch_violations,
+    convergence_violations,
+    effect_totals,
+    exactly_once_violations,
+    stale_result_violations,
+)
 from ..simnet.events import Interrupt
 from ..soap.client import SoapClient
 from ..soap.fault import SoapFault
@@ -417,7 +424,6 @@ class FaultCampaign:
             counter = counters.get(name)
             if counter is not None:
                 setattr(report, attribute, counter.value)
-        totals: "Counter[str]" = Counter()
         seen_backends = set()
         for peer in service.group.peers:
             backend = peer.implementation.backend
@@ -425,7 +431,7 @@ class FaultCampaign:
                 continue
             seen_backends.add(id(backend))
             report.effects_applied += len(backend.effect_log)
-            totals.update(backend.effect_counts())
+        totals = effect_totals(service.group.peers)
         report.distinct_effects = len(totals)
         report.double_applied = {
             invocation_id: count
@@ -434,66 +440,23 @@ class FaultCampaign:
         }
 
     def _audit(self, report: CampaignReport) -> None:
+        """Post-run safety audit over the shared invariant functions.
+
+        The checkers themselves live in :mod:`repro.check.invariants` so
+        the schedule-exploration checker and the fault campaign judge a
+        run by the *same* definitions — a violation either harness finds
+        is a violation to the other.
+        """
+        peers = self.service.group.peers
         violations = report.violations
         violations.extend(self.system.failures.alternation_violations())
-
-        # One coordinator per epoch: ownership, per-peer monotonicity, and
-        # global uniqueness of announced terms.
-        seen: Dict[Tuple[int, str], str] = {}
-        for peer in self.service.group.peers:
-            elector = peer.coordinator_mgr.elector
-            previous = None
-            for when, epoch in elector.announced:
-                if epoch.owner_hex != peer.peer_id.uuid_hex:
-                    violations.append(
-                        f"{peer.name}: announced {epoch} it does not own "
-                        f"(t={when:.3f})"
-                    )
-                if previous is not None and not previous < epoch:
-                    violations.append(
-                        f"{peer.name}: announced {epoch} after {previous} "
-                        f"(t={when:.3f}, not increasing)"
-                    )
-                previous = epoch
-                holder = seen.get(epoch.key())
-                if holder is not None and holder != peer.name:
-                    violations.append(
-                        f"epoch {epoch} announced by both {holder} and {peer.name}"
-                    )
-                seen[epoch.key()] = peer.name
-
-        # No stale result: delivered epochs are monotone per group.
-        high: Dict[object, object] = {}
-        for group_id, epoch in self.service.proxy.result_epoch_log:
-            last = high.get(group_id)
-            if last is not None and epoch < last:
-                violations.append(
-                    f"proxy delivered result under {epoch} after {last} "
-                    f"(group {group_id})"
-                )
-            if last is None or epoch > last:
-                high[group_id] = epoch
-
+        violations.extend(announced_epoch_violations(peers))
+        violations.extend(stale_result_violations(self.service.proxy))
         # Exactly-once: with the journal on, no invocation id may appear
         # more than once across every backend's effect ledger.  The
         # baseline (journal off) run *reports* its duplicates instead of
         # failing — it is the control that proves the audit has teeth.
         if self.dedup_journal:
-            for invocation_id, count in sorted(report.double_applied.items()):
-                violations.append(
-                    f"invocation {invocation_id} applied {count} times "
-                    f"(exactly-once violated)"
-                )
-
-        # Convergence: after cooldown, at most one live self-believed
-        # coordinator remains.
-        if report.live_coordinators > 1:
-            claimants = [
-                peer.name
-                for peer in self.service.group.peers
-                if peer.node.up and peer.coordinator_mgr.is_coordinator
-            ]
-            violations.append(
-                f"{report.live_coordinators} live peers claim coordination "
-                f"after cooldown: {claimants}"
-            )
+            violations.extend(exactly_once_violations(peers))
+        # Convergence only means anything after the cooldown settled.
+        violations.extend(convergence_violations(peers))

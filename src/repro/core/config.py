@@ -39,6 +39,13 @@ class ScenarioConfig:
     # -- group coordination --
     heartbeat_interval: float = 1.0
     miss_threshold: int = 3
+    #: Split-brain fencing (election epochs, PR 2): stale-term requests
+    #: are bounced, stale announcements rejected, stale results discarded,
+    #: and the proxy prefers the highest-epoch resolver answer.  ``False``
+    #: restores the unfenced pre-epoch protocol — only the schedule
+    #: checker's self-test should ever do this: it proves the invariant
+    #: suite catches the resulting stale-result delivery.
+    epoch_fencing: bool = True
 
     # -- semantic matching --
     min_degree: DegreeOfMatch = DegreeOfMatch.EXACT

@@ -63,6 +63,11 @@ class JournalEntry:
     recorded_at: float = 0.0
     #: Transient: the pending request a late-reconciled result must answer.
     request: Optional[Any] = None
+    #: For ``EXECUTING`` entries: the peer that holds the write intent —
+    #: the only peer whose journal can say whether the effect was applied
+    #: (its apply + ``complete`` are atomic).  An in-doubt intent is
+    #: resolved by asking the origin, never by timing it out.
+    origin: Optional[Any] = None
 
     @property
     def done(self) -> bool:
@@ -113,12 +118,15 @@ class DedupJournal:
         request: Optional[Any] = None,
         epoch: Optional[Any] = None,
         now: float = 0.0,
+        origin: Optional[Any] = None,
     ) -> JournalEntry:
         """Mark an invocation in flight (idempotent; never demotes DONE)."""
         entry = self._entries.get(invocation_id)
         if entry is not None:
             if entry.state == EXECUTING and request is not None:
                 entry.request = request
+            if entry.state == EXECUTING and entry.origin is None:
+                entry.origin = origin
             return entry
         entry = JournalEntry(
             invocation_id=invocation_id,
@@ -126,6 +134,7 @@ class DedupJournal:
             epoch=epoch,
             recorded_at=now,
             request=request,
+            origin=origin,
         )
         self._entries[invocation_id] = entry
         self._evict()
@@ -157,6 +166,7 @@ class DedupJournal:
         entry.epoch = epoch
         entry.recorded_at = now
         entry.request = None
+        entry.origin = None
         self._entries.move_to_end(invocation_id)
         self._evict()
         return entry, True
@@ -192,6 +202,7 @@ class DedupJournal:
             local.epoch = entry.epoch
             local.recorded_at = now or entry.recorded_at
             local.request = None
+            local.origin = None
         self.stats.merges += 1
         self._entries.move_to_end(entry.invocation_id)
         self._evict()

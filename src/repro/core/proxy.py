@@ -111,9 +111,16 @@ class SwsProxy(Peer):
         retry: Optional[RetryPolicy] = None,
         deadline_budget: float = 60.0,
         resolve_grace: float = 0.02,
+        epoch_fencing: bool = True,
         name: Optional[str] = None,
     ):
         super().__init__(node, name=name or f"proxy:{sws.name}")
+        #: Split-brain fencing on the proxy side (PR 2): prefer the
+        #: highest-epoch resolver answer, discard stale results, gossip
+        #: the highest witnessed term.  ``False`` restores the naive
+        #: first-answer-wins proxy — the behaviour the schedule checker's
+        #: self-test shows to be unsafe.
+        self.epoch_fencing = epoch_fencing
         self.sws = sws
         self.group_matcher = SemanticGroupMatcher(matcher, min_degree=min_degree)
         self.request_timeout = request_timeout
@@ -258,7 +265,7 @@ class SwsProxy(Peer):
         )
         timer = self.env.timeout(timeout)
         outcome = yield AnyOf(self.env, [done, timer])
-        if done in outcome and self.resolve_grace > 0.0:
+        if done in outcome and self.epoch_fencing and self.resolve_grace > 0.0:
             grace = self.resolve_grace
             if deadline is not None:
                 grace = deadline.clamp(self.env.now, grace)
@@ -267,10 +274,15 @@ class SwsProxy(Peer):
         self.resolver.cancel_query(query_id)
         if not answers:
             raise NoCoordinatorError(f"no coordinator response for {group_id}")
-        coordinator, address, epoch = max(
-            (self._normalize_pointer(answer) for answer in answers),
-            key=lambda item: item[2] if item[2] is not None else GENESIS,
-        )
+        if self.epoch_fencing:
+            coordinator, address, epoch = max(
+                (self._normalize_pointer(answer) for answer in answers),
+                key=lambda item: item[2] if item[2] is not None else GENESIS,
+            )
+        else:
+            # Unfenced: first answer wins, even if it is a deposed
+            # coordinator's stale claim.
+            coordinator, address, epoch = self._normalize_pointer(answers[0])
         return self._rebind(group_id, coordinator, address, epoch)
 
     @staticmethod
@@ -472,6 +484,7 @@ class SwsProxy(Peer):
                 arguments,
                 deadline.clamp(self.env.now, per_request_timeout),
                 invocation_id,
+                attempt,
             )
             if reply is None:  # timeout — coordinator is likely dead
                 invoke_span.finish(self.env.now, outcome="timeout")
@@ -599,6 +612,8 @@ class SwsProxy(Peer):
 
     def _highest_witnessed(self, binding: _Binding) -> Optional[Epoch]:
         """The freshest term this proxy can vouch for, gossiped to b-peers."""
+        if not self.epoch_fencing:
+            return None
         last = self._last_result_epoch.get(binding.group_id)
         if binding.epoch is None:
             return last
@@ -607,7 +622,7 @@ class SwsProxy(Peer):
         return max(binding.epoch, last)
 
     def _result_is_stale(self, group_id: PeerGroupId, reply: ExecReply) -> bool:
-        if reply.epoch is None:
+        if not self.epoch_fencing or reply.epoch is None:
             return False
         last = self._last_result_epoch.get(group_id)
         return last is not None and reply.epoch < last
@@ -629,6 +644,7 @@ class SwsProxy(Peer):
         arguments: Dict[str, Any],
         timeout: float,
         invocation_id: Optional[str] = None,
+        attempt: int = 1,
     ) -> Generator:
         request = ExecRequest(
             request_id=next(self._request_ids),
@@ -640,6 +656,7 @@ class SwsProxy(Peer):
             epoch=binding.epoch,
             observed_epoch=self._highest_witnessed(binding),
             invocation_id=invocation_id,
+            attempt=attempt,
         )
         done = self.env.event()
         self._pending[request.request_id] = done

@@ -211,6 +211,7 @@ class WhisperSystem:
                 queue_bound=scenario.queue_bound,
                 dedup_journal=scenario.dedup_journal,
                 journal_capacity=scenario.journal_capacity,
+                epoch_fencing=scenario.epoch_fencing,
             )
 
         host_name = web_host or f"web-{sws.name}"
@@ -223,6 +224,7 @@ class WhisperSystem:
             request_timeout=scenario.request_timeout,
             max_attempts=scenario.max_attempts,
             deadline_budget=scenario.deadline_budget,
+            epoch_fencing=scenario.epoch_fencing,
         )
         proxy.attach_to(self.rendezvous)
         proxy.publish_self(remote=False)

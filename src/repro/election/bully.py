@@ -57,6 +57,7 @@ class BullyElector:
         group_id: PeerGroupId,
         answer_timeout: float = 0.5,
         coordinator_timeout: float = 1.5,
+        epoch_fencing: bool = True,
     ):
         self.groups = groups
         self.group_id = group_id
@@ -64,6 +65,11 @@ class BullyElector:
         self.env = self.endpoint.node.env
         self.answer_timeout = answer_timeout
         self.coordinator_timeout = coordinator_timeout
+        #: With fencing off (checker self-tests only), stale COORDINATOR
+        #: announcements are accepted and a coordinator whose term went
+        #: stale keeps serving — the pre-PR-2 behaviour.  Epochs are still
+        #: minted and recorded so the invariant audit stays meaningful.
+        self.epoch_fencing = epoch_fencing
 
         self.coordinator: Optional[PeerId] = None
         #: Epoch of the currently accepted coordinator (GENESIS before any
@@ -214,6 +220,34 @@ class BullyElector:
                 self._send(member, COORDINATOR)
         self._notify(self.my_id)
 
+    def reaffirm(self) -> None:
+        """Re-broadcast our coordinatorship to the current view.
+
+        Quiescent anti-entropy: a coordinator that won inside a partition
+        exchanges no messages after the heal (members probe only the
+        coordinator *they* accepted), so two claimants can coexist
+        indefinitely while the group is idle.  A periodic re-affirmation
+        gives fencing something to bite on — a staler receiver adopts the
+        fresher term, a fresher receiver rejects the stale claim and
+        re-elects, and either way the views converge without waiting for
+        client traffic.  Re-affirmations re-send the *already announced*
+        term; they are not new announcements and never touch
+        :attr:`announced`.
+        """
+        if not self.is_coordinator or self.election_in_progress:
+            return
+        if self.epoch_fencing and self.max_epoch_seen > self.epoch:
+            # Known-stale term: never re-advertise it — re-election (via
+            # ``_re_elect_if_stale_term``) is the only way forward.
+            return
+        view = self.groups.groups.get(self.group_id)
+        if view is None or self.my_id not in view.members:
+            return
+        for member in view.sorted_members():
+            if member != self.my_id:
+                self._send(member, COORDINATOR)
+        self.obs.metrics.inc("election.reaffirmed")
+
     def _observe_epoch(self, epoch: Epoch) -> None:
         if epoch > self.max_epoch_seen:
             self.max_epoch_seen = epoch
@@ -232,6 +266,8 @@ class BullyElector:
         self._re_elect_if_stale_term()
 
     def _re_elect_if_stale_term(self) -> None:
+        if not self.epoch_fencing:
+            return
         if self.is_coordinator and self.max_epoch_seen > self.epoch:
             # Our own term went stale: somewhere a higher term was minted
             # (we re-won without seeing it, or a partition healed).
@@ -299,13 +335,26 @@ class BullyElector:
             if self._answer_event is not None and not self._answer_event.triggered:
                 self._answer_event.succeed(sender)
         elif kind == COORDINATOR:
-            if epoch is not None and epoch < self.epoch:
+            if self.epoch_fencing and epoch is not None and epoch < self.epoch:
                 # Stale term: an ex-coordinator (typically a healed
                 # partition minority) is re-announcing an epoch this peer
-                # has already moved past.  Reject it and re-elect — the
-                # winner will mint above both terms, converging the views.
+                # has already moved past.
                 self.obs.metrics.inc("election.stale_announcements_rejected")
-                self.start_election()
+                if self.is_coordinator and self.epoch >= self.max_epoch_seen:
+                    # We coordinate under the freshest term we know: rebuff
+                    # the claimant directly with it.  Silent rejection
+                    # would deadlock when OUR announcements cannot reach it
+                    # (its entry fell out of our view after an eviction):
+                    # it keeps re-affirming, we keep re-electing, and
+                    # nobody ever tells it about the fresher term.  On
+                    # receipt it either adopts (we outrank it) or mints
+                    # above our term via its own election — converged
+                    # either way.
+                    self._send(sender, COORDINATOR)
+                else:
+                    # Not the incumbent (or our own term is stale too):
+                    # re-elect, and the winner will mint above both terms.
+                    self.start_election()
                 return
             if sender.uuid_hex < self.my_id.uuid_hex:
                 # A lower peer claims coordination while we are alive: the
@@ -313,6 +362,20 @@ class BullyElector:
                 # concurrent elections).  Re-elect; we or someone higher
                 # will win.
                 self.start_election()
+                return
+            if (
+                sender == self.coordinator
+                and epoch is not None
+                and epoch == self.epoch
+            ):
+                # Periodic re-affirmation of the incumbent we already
+                # accepted: nothing changed, so skip the re-notify churn
+                # (but settle any election round waiting for this).
+                if (
+                    self._coordinator_event is not None
+                    and not self._coordinator_event.triggered
+                ):
+                    self._coordinator_event.succeed(sender)
                 return
             self.coordinator = sender
             if epoch is not None:

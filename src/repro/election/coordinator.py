@@ -34,6 +34,7 @@ class GroupCoordinator:
         miss_threshold: int = 3,
         answer_timeout: float = 0.5,
         coordinator_timeout: float = 1.5,
+        epoch_fencing: bool = True,
     ):
         self.groups = groups
         self.group_id = group_id
@@ -42,6 +43,7 @@ class GroupCoordinator:
             group_id,
             answer_timeout=answer_timeout,
             coordinator_timeout=coordinator_timeout,
+            epoch_fencing=epoch_fencing,
         )
         self.monitor = HeartbeatMonitor(
             groups,
@@ -107,6 +109,11 @@ class GroupCoordinator:
                 yield env.timeout(self.watchdog_interval)
                 if not self.groups.is_member(self.group_id):
                     continue
+                if self.elector.is_coordinator:
+                    # Quiescent anti-entropy: keep re-advertising our term
+                    # so a rival claimant from a healed partition is found
+                    # (and fenced off) even with no client traffic at all.
+                    self.elector.reaffirm()
                 coordinator = self.elector.coordinator
                 needs_election = coordinator is None or (
                     coordinator not in self.groups.members(self.group_id)

@@ -12,7 +12,7 @@ This package replaces the paper's physical testbed (nine P4 machines on a
   produce the paper's Figure 4 and §5 latency numbers.
 """
 
-from .environment import EmptySchedule, Environment, StopSimulation
+from .environment import EmptySchedule, Environment, StopSimulation, TiebreakPolicy
 from .events import AllOf, AnyOf, Event, Interrupt, SimulationError, Timeout
 from .failure import FailureEvent, FailureInjector
 from .latency import (
@@ -56,6 +56,7 @@ __all__ = [
     "Socket",
     "StopSimulation",
     "Store",
+    "TiebreakPolicy",
     "Timeout",
     "TraceRecord",
     "Transport",

@@ -9,7 +9,7 @@ from typing import Any, Generator, List, Optional, Tuple
 from .events import Event, SimulationError, Timeout
 from .process import Process
 
-__all__ = ["Environment", "StopSimulation", "EmptySchedule"]
+__all__ = ["Environment", "StopSimulation", "EmptySchedule", "TiebreakPolicy"]
 
 
 class StopSimulation(Exception):
@@ -26,20 +26,47 @@ _URGENT = 0
 _NORMAL = 1
 
 
+class TiebreakPolicy:
+    """How same-timestamp events are ordered relative to one another.
+
+    The default (``None`` on the environment) is FIFO: events scheduled at
+    the same instant are processed in scheduling order.  A policy replaces
+    that single ordering with a *chosen* one — the schedule-exploration
+    checker (:mod:`repro.check`) uses seeded shuffles and adversarial
+    delays to sample many legal interleavings of one scenario.  Whatever
+    the policy returns, ordering stays deterministic: the key only
+    reorders events within the same ``(time, urgency)`` class, and the
+    scheduling sequence number remains the final tiebreaker.
+    """
+
+    def key(self, env: "Environment", urgent: bool, event: Event) -> int:
+        """Sort key for one event among its same-timestamp peers."""
+        raise NotImplementedError
+
+
 class Environment:
     """Coordinates simulated time and event processing.
 
-    The environment owns a priority queue of ``(time, priority, seq, event)``
-    tuples.  ``seq`` is a monotonically increasing tiebreaker so that events
-    scheduled at the same instant are processed in FIFO order, which makes
-    every simulation fully deterministic.
+    The environment owns a priority queue of
+    ``(time, priority, tiebreak, seq, event)`` tuples.  ``seq`` is a
+    monotonically increasing counter so that events scheduled at the same
+    instant are processed in FIFO order by default, which makes every
+    simulation fully deterministic.  ``tiebreak`` (0 unless a
+    :class:`TiebreakPolicy` is installed) lets a checker perturb the order
+    of same-timestamp events without ever reordering across timestamps.
     """
 
-    def __init__(self, initial_time: float = 0.0):
+    def __init__(
+        self,
+        initial_time: float = 0.0,
+        tiebreak: Optional[TiebreakPolicy] = None,
+    ):
         self._now = float(initial_time)
-        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._queue: List[Tuple[float, int, int, int, Event]] = []
         self._seq = itertools.count()
         self._active_process: Optional[Process] = None
+        #: Pluggable same-timestamp ordering (``None`` = FIFO).
+        self.tiebreak = tiebreak
 
     # -- clock ----------------------------------------------------------------
 
@@ -75,11 +102,15 @@ class Environment:
         """Queue ``event`` to be processed ``delay`` time units from now."""
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
+        tiebreak = 0
+        if self.tiebreak is not None:
+            tiebreak = self.tiebreak.key(self, priority, event)
         heapq.heappush(
             self._queue,
             (
                 self._now + delay,
                 _URGENT if priority else _NORMAL,
+                tiebreak,
                 next(self._seq),
                 event,
             ),
@@ -100,7 +131,7 @@ class Environment:
         """
         if not self._queue:
             raise EmptySchedule()
-        when, _prio, _seq, event = heapq.heappop(self._queue)
+        when, _prio, _tiebreak, _seq, event = heapq.heappop(self._queue)
         self._now = when
         callbacks = event.callbacks
         event.callbacks = None

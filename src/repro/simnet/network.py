@@ -10,7 +10,7 @@ the loss rate never receive the message — the trace records the drop.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from ..obs import Observability
 from .environment import Environment
@@ -69,6 +69,29 @@ class Network:
         #: Per-host NIC egress availability: a host transmits one frame at
         #: a time, so back-to-back sends serialise on the wire.
         self._egress_busy_until: Dict[str, float] = {}
+        #: Decision-point hooks, fired at ``pre-send`` (a message is about
+        #: to enter the wire) and ``pre-deliver`` (it is about to reach the
+        #: destination transport).  A hook may mutate the world (crash a
+        #: host, cut a partition) and/or return ``"drop"`` to discard the
+        #: message.  Empty by default — the schedule-exploration checker
+        #: (:mod:`repro.check`) injects faults here, at protocol decision
+        #: points rather than wall-clock instants.
+        self.hooks: List[Callable[[str, Message], Optional[str]]] = []
+
+    def add_hook(self, hook: Callable[[str, "Message"], Optional[str]]) -> None:
+        """Register a decision-point hook (see :attr:`hooks`)."""
+        self.hooks.append(hook)
+
+    def remove_hook(self, hook: Callable[[str, "Message"], Optional[str]]) -> None:
+        if hook in self.hooks:
+            self.hooks.remove(hook)
+
+    def _fire_hooks(self, point: str, message: "Message") -> Optional[str]:
+        verdict: Optional[str] = None
+        for hook in list(self.hooks):
+            if hook(point, message) == "drop":
+                verdict = "drop"
+        return verdict
 
     # -- topology ---------------------------------------------------------------
 
@@ -171,6 +194,9 @@ class Network:
             raise UnknownHostError(src_name)
         src_node = self.hosts[src_name]
 
+        if self.hooks and self._fire_hooks("pre-send", message) == "drop":
+            self.trace.on_drop(self.env.now, message, reason="fault-injected")
+            return
         if not src_node.up:
             self.trace.on_drop(self.env.now, message, reason="src-down")
             return
@@ -204,6 +230,9 @@ class Network:
     def _deliver(self, message: Message) -> None:
         dst_node = self.hosts[message.dst[0]]
         message.hops += 1
+        if self.hooks and self._fire_hooks("pre-deliver", message) == "drop":
+            self.trace.on_drop(self.env.now, message, reason="fault-injected")
+            return
         if not dst_node.up or self.partitioned(message.src[0], message.dst[0]):
             self.trace.on_drop(self.env.now, message, reason="dst-down")
             return

@@ -111,6 +111,13 @@ class Process(Event):
                 self._target.callbacks.remove(self._resume)
             except ValueError:
                 pass
+            if not self._target.callbacks:
+                # Nobody else is waiting: withdraw cancellable targets
+                # (store gets/puts) so they cannot later consume an item
+                # on behalf of this no-longer-waiting process.
+                cancel = getattr(self._target, "cancel", None)
+                if cancel is not None:
+                    cancel()
         self._target = None
 
         try:

@@ -21,24 +21,49 @@ __all__ = ["Store", "PriorityStore", "StorePut", "StoreGet"]
 class StorePut(Event):
     """Event that fires once the item has been accepted by the store."""
 
-    __slots__ = ("item",)
+    __slots__ = ("item", "_store")
 
     def __init__(self, store: "Store", item: Any):
         super().__init__(store.env)
         self.item = item
+        self._store = store
         store._put_waiters.append(self)
         store._trigger()
+
+    def cancel(self) -> None:
+        """Withdraw this put: the waiting process died before it landed."""
+        if not self.triggered:
+            try:
+                self._store._put_waiters.remove(self)
+            except ValueError:
+                pass
 
 
 class StoreGet(Event):
     """Event that fires with the retrieved item."""
 
-    __slots__ = ()
+    __slots__ = ("_store",)
 
     def __init__(self, store: "Store"):
         super().__init__(store.env)
+        self._store = store
         store._get_waiters.append(self)
         store._trigger()
+
+    def cancel(self) -> None:
+        """Withdraw this get so no item is handed to a dead waiter.
+
+        Without cancellation an interrupted process (a crashed host's
+        worker blocked on its request queue) leaves an untriggered getter
+        behind; the next ``put`` would succeed that orphan and the item
+        would vanish — a request admitted but never served.  The process
+        machinery cancels its abandoned target on interrupt detach.
+        """
+        if not self.triggered:
+            try:
+                self._store._get_waiters.remove(self)
+            except ValueError:
+                pass
 
 
 class Store:

@@ -1,0 +1,48 @@
+"""The stateful registry: epoch monotonicity as a trajectory property."""
+
+from types import SimpleNamespace
+
+from repro.check import InvariantRegistry
+from repro.election import Epoch
+
+
+def _service(epoch):
+    peer = SimpleNamespace(
+        name="p0",
+        peer_id=SimpleNamespace(uuid_hex="aa"),
+        coordinator_mgr=SimpleNamespace(
+            epoch=epoch,
+            elector=SimpleNamespace(announced=[]),
+            is_coordinator=False,
+        ),
+        node=SimpleNamespace(up=True),
+        implementation=SimpleNamespace(backend=None),
+    )
+    peer._member_load = {}
+    return SimpleNamespace(
+        group=SimpleNamespace(peers=[peer]),
+        proxy=SimpleNamespace(result_epoch_log=[]),
+    )
+
+
+class TestAcceptedEpochCursor:
+    def test_advancing_epochs_pass(self):
+        registry = InvariantRegistry(dedup_journal=False)
+        assert registry.check_step(_service(Epoch(1, "aa"))) == []
+        assert registry.check_step(_service(Epoch(2, "bb"))) == []
+
+    def test_regression_caught_even_if_it_self_corrects(self):
+        """The cursor sees the dip a final-state audit would miss."""
+        registry = InvariantRegistry(dedup_journal=False)
+        assert registry.check_step(_service(Epoch(3, "aa"))) == []
+        violations = registry.check_step(_service(Epoch(1, "bb")))
+        assert violations and "regressed" in violations[0]
+        # A later recovery to a fresh term is clean again.
+        assert registry.check_step(_service(Epoch(4, "cc"))) == []
+
+    def test_fresh_registry_has_no_history(self):
+        """Per-run state: a new registry accepts any starting epoch."""
+        first = InvariantRegistry(dedup_journal=False)
+        first.check_step(_service(Epoch(9, "aa")))
+        second = InvariantRegistry(dedup_journal=False)
+        assert second.check_step(_service(Epoch(1, "bb"))) == []

@@ -14,9 +14,22 @@ def env():
 
 
 @pytest.fixture
-def network(env):
+def seed(request):
+    """Root RNG seed for the ``network`` fixture.
+
+    Defaults to the suite's historical 12345; parametrize it indirectly
+    to sweep a scenario across seeds::
+
+        @pytest.mark.parametrize("seed", [7, 11, 42], indirect=True)
+        def test_something(network, ...): ...
+    """
+    return getattr(request, "param", 12345)
+
+
+@pytest.fixture
+def network(env, seed):
     """A fresh network on the default 100 Mbit LAN model."""
-    return Network(env, trace=MessageTrace(), rng=RngRegistry(12345))
+    return Network(env, trace=MessageTrace(), rng=RngRegistry(seed))
 
 
 @pytest.fixture

@@ -23,6 +23,15 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["quantum"])
 
+    def test_check_defaults(self):
+        args = build_parser().parse_args(["check"])
+        assert args.seeds == 5
+        assert args.schedules == 50
+        assert args.max_ops == 4
+        assert args.timeout is None
+        assert args.replay is None
+        assert not args.self_test
+
 
 class TestCommands:
     def test_fig4_runs_small(self, capsys):
@@ -48,3 +57,18 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "Availability under churn" in output
         assert "availability" in output
+
+    def test_check_runs_small_and_clean(self, capsys, tmp_path):
+        out = str(tmp_path / "repro.json")
+        assert main(["check", "--seeds", "1", "--schedules", "2",
+                     "--out", out]) == 0
+        output = capsys.readouterr().out
+        assert "schedule exploration" in output
+        assert "all hold" in output
+
+    def test_check_self_test_catches_unfenced_violation(self, capsys, tmp_path):
+        out = str(tmp_path / "self-test.json")
+        assert main(["check", "--self-test", "--out", out]) == 0
+        output = capsys.readouterr().out
+        assert "self-test" in output
+        assert "OK" in output

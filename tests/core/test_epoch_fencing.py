@@ -26,6 +26,21 @@ def deployed(system):
     return service
 
 
+def _quiesce_watchdogs(group):
+    """Stop the peers' coordination watchdogs for the rest of the run.
+
+    The watchdog's periodic re-affirmation actively heals split-brain, so
+    tests that *forge* a split claimant (to probe the resolver's epoch
+    preference in isolation) must silence it or the forged state unravels
+    mid-resolve.
+    """
+    for peer in group.peers:
+        mgr = peer.coordinator_mgr
+        watchdog, mgr._watchdog = mgr._watchdog, None
+        if watchdog is not None and watchdog.is_alive:
+            watchdog.interrupt("quiesce")
+
+
 def _invoke(system, proxy, operation, arguments, **kwargs):
     outcome = {}
 
@@ -127,6 +142,7 @@ class TestResolverEpochPreference:
             if peer.peer_id != coordinator_id
         )
         # Forge a split-brain claimant with a *higher* term.
+        _quiesce_watchdogs(deployed.group)
         forged = Epoch(real_epoch.counter + 7, follower.peer_id.uuid_hex)
         follower.coordinator_mgr.elector.coordinator = follower.peer_id
         follower.coordinator_mgr.elector.epoch = forged

@@ -1,0 +1,104 @@
+"""Property-based tests for the coordinator's dispatch policies.
+
+Pure-policy properties (no simulator): drive the policies over random
+member views and random dispatch/complete traces and check the two
+guarantees the overload layer leans on:
+
+* **least-outstanding respects the queue bound** — as long as the group
+  as a whole has spare capacity (total in flight < bound x members), the
+  policy's pick always has room; a shed can only ever be forced by the
+  whole group being full, never by a skewed choice;
+* **round-robin is fair within one cycle** — from any cursor position,
+  ``n`` consecutive picks over a stable ``n``-member view visit every
+  member exactly once.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dispatch import (
+    LeastOutstandingDispatch,
+    MemberLoad,
+    RoundRobinDispatch,
+)
+from repro.p2p import PeerId
+
+#: A stable pool of distinct member ids (properties draw prefixes of it).
+MEMBERS = [PeerId.from_name(f"dispatch-prop-{index}") for index in range(8)]
+
+
+def _view(size):
+    return MEMBERS[:size]
+
+
+@given(
+    size=st.integers(min_value=1, max_value=8),
+    bound=st.integers(min_value=1, max_value=6),
+    events=st.lists(st.integers(min_value=0, max_value=9), max_size=120),
+)
+@settings(max_examples=150, deadline=None)
+def test_least_outstanding_never_needs_to_exceed_bound(size, bound, events):
+    """With group-wide spare capacity, the pick always has room.
+
+    The trace interleaves dispatches and completions: an even event
+    dispatches (if the group is not saturated), an odd event completes
+    the oldest in-flight request on member ``event % size``.  After every
+    admitted dispatch the chosen member must still be within the bound —
+    i.e. the policy never concentrates load onto a full member while a
+    sibling has room (pigeonhole over the least-loaded choice).
+    """
+    members = _view(size)
+    policy = LeastOutstandingDispatch()
+    load = {member: MemberLoad() for member in members}
+
+    for event in events:
+        total = sum(state.outstanding for state in load.values())
+        if event % 2 == 0:
+            if total >= bound * size:
+                continue  # group saturated: a shed here is legitimate
+            choice = policy.choose(members, load)
+            assert choice in members
+            assert load[choice].outstanding < bound, (
+                f"least-outstanding picked a full member ({choice}) "
+                f"while the group had spare capacity"
+            )
+            load[choice].outstanding += 1
+        else:
+            member = members[event % size]
+            if load[member].outstanding > 0:
+                load[member].outstanding -= 1
+
+
+@given(
+    size=st.integers(min_value=1, max_value=8),
+    warmup=st.integers(min_value=0, max_value=25),
+)
+@settings(max_examples=100, deadline=None)
+def test_round_robin_visits_every_member_each_cycle(size, warmup):
+    """From any cursor position, one cycle covers the live view exactly."""
+    members = _view(size)
+    policy = RoundRobinDispatch()
+    load = {member: MemberLoad() for member in members}
+    for _ in range(warmup):
+        policy.choose(members, load)
+    cycle = [policy.choose(members, load) for _ in range(size)]
+    assert sorted(cycle, key=str) == sorted(members, key=str)
+
+
+@given(size=st.integers(min_value=1, max_value=8))
+@settings(max_examples=25, deadline=None)
+def test_round_robin_skips_departed_members(size):
+    """A member pruned from the view is never picked again.
+
+    The cursor is an index into the *current* view, so shrinking the view
+    mid-rotation must neither raise nor resurrect the departed member.
+    """
+    members = _view(size)
+    policy = RoundRobinDispatch()
+    load = {member: MemberLoad() for member in members}
+    for _ in range(size // 2 + 1):
+        policy.choose(members, load)
+    survivors = members[: max(1, size - 1)]
+    picks = [policy.choose(survivors, load) for _ in range(3 * len(survivors))]
+    assert all(pick in survivors for pick in picks)
+    assert set(picks) == set(survivors)
