@@ -1,6 +1,6 @@
 # Developer conveniences for the Whisper reproduction.
 
-.PHONY: install test bench examples figures overload exactly-once check check-self-test all clean
+.PHONY: install test bench examples figures overload exactly-once check check-self-test perf perf-smoke all clean
 
 install:
 	python setup.py develop
@@ -36,6 +36,16 @@ check:
 
 check-self-test:
 	python -m repro check --self-test
+
+# Regenerate the committed simulator throughput record (full + smoke
+# tiers, baseline vs current modes; see EXPERIMENTS.md "Perf methodology").
+perf:
+	python -m repro perf --out BENCH_simnet.json
+
+# The CI tier: quick smoke run, gated against the committed record.
+perf-smoke:
+	python -m repro perf --smoke --out bench-smoke.json \
+		--check BENCH_simnet.json --tolerance 0.25
 
 outputs:
 	pytest tests/ 2>&1 | tee test_output.txt

@@ -35,6 +35,11 @@ class ScenarioConfig:
     record_trace_details: bool = False
     #: Request-scoped tracing + metrics (near-zero-cost to disable).
     observability: bool = True
+    #: Fraction of requests that get a full span tree (systematic
+    #: sampling, deterministic).  1.0 traces everything (the default);
+    #: lower rates keep the request counters exact but skip per-request
+    #: span allocation — the knob high-throughput scenarios turn down.
+    obs_sample_rate: float = 1.0
 
     # -- group coordination --
     heartbeat_interval: float = 1.0

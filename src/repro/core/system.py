@@ -117,7 +117,10 @@ class WhisperSystem:
         #: Purely in-process: enabling it sends no extra messages, so the
         #: Figure-4 counts are identical either way; disabling it turns
         #: every instrumentation hook into a near-zero-cost no-op.
-        self.obs = Observability(enabled=self.config.observability)
+        self.obs = Observability(
+            enabled=self.config.observability,
+            sample_rate=self.config.obs_sample_rate,
+        )
         if self.config.observability:
             self.trace.metrics = self.obs.metrics
         self.network = Network(

@@ -10,7 +10,13 @@ aggregates counters and fixed-bucket latency histograms, and
 enabled/disabled switch (disabled = near-zero cost, nothing retained).
 """
 
-from .metrics import DEFAULT_LATENCY_BUCKETS, Counter, Histogram, MetricsRegistry
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    RingBuffer,
+)
 from .observability import Observability
 from .span import (
     NULL_SPAN,
@@ -34,5 +40,6 @@ __all__ = [
     "Observability",
     "PHASES",
     "RequestTrace",
+    "RingBuffer",
     "Span",
 ]

@@ -27,22 +27,59 @@ __all__ = ["Observability"]
 
 
 class Observability:
-    """Request tracing and metrics for one simulated deployment."""
+    """Request tracing and metrics for one simulated deployment.
 
-    def __init__(self, enabled: bool = True, max_traces: int = 512):
+    ``sample_rate`` makes span tracing *opt-in per request*: at 1.0 (the
+    default) every request gets a full span tree, exactly as before; at
+    ``r < 1`` a deterministic systematic sampler traces every ``1/r``-th
+    request and the rest pay only two counter increments.  Sampled
+    request durations additionally land in a fixed-capacity
+    :class:`~repro.obs.metrics.RingBuffer` (``request.duration.recent``),
+    so recent-tail reporting needs no per-request allocation.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        max_traces: int = 512,
+        sample_rate: float = 1.0,
+        ring_capacity: int = 1024,
+    ):
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError(f"sample_rate {sample_rate} outside [0, 1]")
         self.enabled = enabled
+        self.sample_rate = sample_rate
+        self.ring_capacity = ring_capacity
         self.metrics = MetricsRegistry(enabled=enabled)
         #: Recent completed-or-in-flight request traces, oldest evicted.
         self.traces: Deque[RequestTrace] = deque(maxlen=max_traces)
+        #: Systematic-sampling accumulator: deterministic (no RNG), and
+        #: spreads sampled requests evenly instead of in bursts.
+        self._sample_acc = 1.0 if sample_rate > 0 else 0.0
+        #: Cached phase-histogram handles — the hot fold path skips the
+        #: per-observation f-string + registry lookup.
+        self._phase_hists: Dict[str, Any] = {}
+        #: Reused per-request phase accumulator (cleared, never rebuilt).
+        self._phase_accum: Dict[str, float] = {}
 
     # -- request lifecycle ------------------------------------------------------
 
     def request_trace(
         self, operation: str, request_id: int, now: float
     ) -> Union[RequestTrace, NullRequestTrace]:
-        """Open a trace for one proxy invocation (null object if disabled)."""
+        """Open a trace for one proxy invocation.
+
+        Returns the null trace when disabled, and for requests the
+        sampler skips — those still count toward the request counters at
+        :meth:`finish_request`, they just carry no span tree.
+        """
         if not self.enabled:
             return NULL_TRACE
+        if self.sample_rate < 1.0:
+            self._sample_acc += self.sample_rate
+            if self._sample_acc < 1.0:
+                return NULL_TRACE
+            self._sample_acc -= 1.0
         trace = RequestTrace(operation, request_id, now)
         self.traces.append(trace)
         return trace
@@ -53,17 +90,39 @@ class Observability:
         now: float,
         status: str = "ok",
     ) -> None:
-        """Close ``trace`` and fold its phase durations into the metrics."""
-        if not self.enabled or trace is NULL_TRACE:
+        """Close ``trace`` and fold its phase durations into the metrics.
+
+        Unsampled requests (null trace while enabled) still increment the
+        request counters so throughput accounting stays exact; only the
+        span/latency detail is sampled.
+        """
+        if not self.enabled:
             return
-        trace.finish(now, status=status)
         self.metrics.inc("requests.total")
         self.metrics.inc("requests.ok" if status == "ok" else "requests.failed")
+        if trace is NULL_TRACE or isinstance(trace, NullRequestTrace):
+            return
+        trace.finish(now, status=status)
         duration = trace.duration
         if duration is not None:
             self.metrics.observe("request.duration", duration)
-        for phase, seconds in trace.phase_durations().items():
-            self.metrics.observe(f"phase.{phase}", seconds)
+            self.metrics.record(
+                "request.duration.recent", duration, self.ring_capacity
+            )
+        accum = self._phase_accum
+        accum.clear()
+        root = trace.root
+        for span in root.walk():
+            if span is root or span.end is None:
+                continue
+            accum[span.name] = accum.get(span.name, 0.0) + (span.end - span.start)
+        for phase, seconds in accum.items():
+            histogram = self._phase_hists.get(phase)
+            if histogram is None:
+                histogram = self._phase_hists[phase] = self.metrics.histogram(
+                    f"phase.{phase}"
+                )
+            histogram.observe(seconds)
 
     def observe_phase(self, phase: str, seconds: float) -> None:
         """Record a phase duration outside any request trace (e.g. ``elect``)."""
@@ -131,3 +190,4 @@ class Observability:
         """Drop all traces and metrics (e.g. after a warm-up phase)."""
         self.traces.clear()
         self.metrics.reset()
+        self._phase_hists.clear()

@@ -15,7 +15,8 @@ When observability is disabled the null objects (:data:`NULL_SPAN`,
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, List, Optional
+from types import MappingProxyType
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
 
 __all__ = [
     "PHASES",
@@ -200,7 +201,14 @@ class RequestTrace:
 
 
 class NullSpan:
-    """No-op stand-in for :class:`Span` when observability is disabled."""
+    """No-op stand-in for :class:`Span` when observability is disabled.
+
+    The class attributes are shared by every disabled call site through
+    the :data:`NULL_SPAN` singleton, so they must be *immutable*: a
+    read-only mapping and a tuple.  An accidental write through the
+    singleton (``span.tags["k"] = v`` on a disabled path) raises instead
+    of silently polluting every other disabled call site.
+    """
 
     __slots__ = ()
 
@@ -208,8 +216,8 @@ class NullSpan:
     start = 0.0
     end: Optional[float] = 0.0
     parent = None
-    tags: Dict[str, Any] = {}
-    children: List[Span] = []
+    tags: Mapping[str, Any] = MappingProxyType({})
+    children: Tuple[Span, ...] = ()
     finished = True
     duration: Optional[float] = 0.0
 

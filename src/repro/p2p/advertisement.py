@@ -41,6 +41,14 @@ class AdvParseError(Exception):
 
 _REGISTRY: Dict[str, Type["Advertisement"]] = {}
 
+#: When True (the default) each advertisement renders its XML at most
+#: once and serves the cached document/size afterwards.  Discovery and
+#: rendezvous answer paths re-serialise the same advertisements for every
+#: query, so rendering lazily-once removes an O(matches) XML build from
+#: each response.  The perf harness flips this off to measure the eager
+#: seed behaviour.
+CACHE_XML = True
+
 
 @dataclass
 class Advertisement:
@@ -49,6 +57,11 @@ class Advertisement:
     ADV_TYPE: ClassVar[str] = "jxta:Adv"
 
     lifetime: float = DEFAULT_LIFETIME
+
+    # Plain class attributes (no annotation, so not dataclass fields):
+    # per-instance caches shadow them on first render.
+    _xml_cache = None
+    _size_cache = None
 
     def __init_subclass__(cls, **kwargs):
         super().__init_subclass__(**kwargs)
@@ -76,6 +89,22 @@ class Advertisement:
         raise NotImplementedError
 
     def to_xml(self) -> str:
+        """Serialise (lazily: the rendered document is cached).
+
+        Advertisements are value objects — built once, then matched and
+        re-sent many times — so the first render is remembered.  Code
+        that mutates an advertisement after rendering must call
+        :meth:`invalidate_xml_cache`.
+        """
+        cached = self._xml_cache
+        if cached is not None:
+            return cached
+        document = self._render_xml()
+        if CACHE_XML:
+            self._xml_cache = document
+        return document
+
+    def _render_xml(self) -> str:
         root = ET.Element(self.ADV_TYPE.replace(":", "_"))
         root.set("type", self.ADV_TYPE)
         root.set("lifetime", repr(self.lifetime))
@@ -83,12 +112,23 @@ class Advertisement:
             root.append(element)
         return ET.tostring(root, encoding="unicode", xml_declaration=True)
 
+    def invalidate_xml_cache(self) -> None:
+        """Drop the cached rendering after a field mutation."""
+        self._xml_cache = None
+        self._size_cache = None
+
     @classmethod
     def _from_element(cls, root: ET.Element) -> "Advertisement":
         raise NotImplementedError
 
     def size_bytes(self) -> int:
-        return len(self.to_xml().encode())
+        cached = self._size_cache
+        if cached is not None:
+            return cached
+        size = len(self.to_xml().encode())
+        if CACHE_XML:
+            self._size_cache = size
+        return size
 
 
 def advertisement_from_xml(document: str) -> Advertisement:

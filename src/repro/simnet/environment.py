@@ -1,15 +1,43 @@
-"""The simulation environment: clock + event queue + run loop."""
+"""The simulation environment: clock + event queue + run loop.
+
+Two schedulers share one contract (process events in ``(time, urgency,
+tiebreak, seq)`` order):
+
+* ``"batched"`` (the default) — same-timestamp events are drained out of
+  the heap once per instant into plain FIFO deques, and events scheduled
+  *at the current instant* (the overwhelming majority: every
+  ``Event.succeed``, process resume, and store handshake) bypass the heap
+  entirely.  No per-event 5-tuple is allocated and nothing re-heapifies
+  while a timestamp's run is processed.
+* ``"heap"`` — the seed implementation: every event goes through one
+  ``heapq`` of ``(time, priority, tiebreak, seq, event)`` tuples.
+
+Both produce the *identical* event order (the scheduler-equivalence suite
+in ``tests/simnet/test_scheduler_equivalence.py`` proves it on full
+deployments), so replay files and seeded benchmarks are scheduler
+agnostic.  Installing a :class:`TiebreakPolicy` routes everything through
+the heap path, because a policy may rank a newly scheduled event *before*
+already-drained peers.
+"""
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Generator, List, Optional, Tuple
+from collections import deque
+from typing import Any, Callable, Deque, Generator, List, Optional, Tuple
 
 from .events import Event, SimulationError, Timeout
 from .process import Process
 
-__all__ = ["Environment", "StopSimulation", "EmptySchedule", "TiebreakPolicy"]
+__all__ = [
+    "Environment",
+    "StopSimulation",
+    "EmptySchedule",
+    "TiebreakPolicy",
+    "DEFAULT_SCHEDULER",
+    "SCHEDULERS",
+]
 
 
 class StopSimulation(Exception):
@@ -24,6 +52,14 @@ class EmptySchedule(Exception):
 #: events at the same timestamp.
 _URGENT = 0
 _NORMAL = 1
+
+#: Recognised scheduler implementations.
+SCHEDULERS = ("batched", "heap")
+
+#: Process-wide default used when :class:`Environment` is built without an
+#: explicit ``scheduler=``.  The equivalence suite and the perf harness
+#: flip this to run whole deployments on the seed heap scheduler.
+DEFAULT_SCHEDULER = "batched"
 
 
 class TiebreakPolicy:
@@ -47,26 +83,50 @@ class TiebreakPolicy:
 class Environment:
     """Coordinates simulated time and event processing.
 
-    The environment owns a priority queue of
-    ``(time, priority, tiebreak, seq, event)`` tuples.  ``seq`` is a
-    monotonically increasing counter so that events scheduled at the same
-    instant are processed in FIFO order by default, which makes every
-    simulation fully deterministic.  ``tiebreak`` (0 unless a
+    The heap holds ``(time, priority, tiebreak, seq, event)`` tuples.
+    ``seq`` is a monotonically increasing counter so that events scheduled
+    at the same instant are processed in FIFO order by default, which
+    makes every simulation fully deterministic.  ``tiebreak`` (0 unless a
     :class:`TiebreakPolicy` is installed) lets a checker perturb the order
     of same-timestamp events without ever reordering across timestamps.
+
+    Under the batched scheduler, events landing at the *current* instant
+    skip the heap: they append straight onto one of two FIFO deques
+    (urgent / normal).  That is order-equivalent to the heap because any
+    event scheduled now carries a larger ``seq`` than everything already
+    queued for this instant, and deque order is append order.
     """
 
     def __init__(
         self,
         initial_time: float = 0.0,
         tiebreak: Optional[TiebreakPolicy] = None,
+        scheduler: Optional[str] = None,
     ):
+        if scheduler is None:
+            scheduler = DEFAULT_SCHEDULER
+        if scheduler not in SCHEDULERS:
+            raise ValueError(f"unknown scheduler {scheduler!r} (use one of {SCHEDULERS})")
         self._now = float(initial_time)
         self._queue: List[Tuple[float, int, int, int, Event]] = []
         self._seq = itertools.count()
         self._active_process: Optional[Process] = None
         #: Pluggable same-timestamp ordering (``None`` = FIFO).
         self.tiebreak = tiebreak
+        self.scheduler = scheduler
+        self._batched = scheduler == "batched"
+        #: Current-instant runs, drained from the heap (or scheduled at
+        #: ``now``) and processed without re-heapifying.  Urgent before
+        #: normal, FIFO within each — exactly the heap's total order.
+        self._now_urgent: Deque[Event] = deque()
+        self._now_normal: Deque[Event] = deque()
+        #: Events processed since construction (perf accounting).
+        self.events_processed = 0
+        #: Optional per-event hook ``(now, event) -> None``, fired just
+        #: before an event's callbacks run.  The scheduler-equivalence
+        #: suite records event orderings through it; ``None`` costs one
+        #: pointer check per event.
+        self.on_event: Optional[Callable[[float, Event], None]] = None
 
     # -- clock ----------------------------------------------------------------
 
@@ -102,13 +162,24 @@ class Environment:
         """Queue ``event`` to be processed ``delay`` time units from now."""
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
+        when = self._now + delay
+        if self._batched and self.tiebreak is None and when == self._now:
+            # Current-instant fast path: a new event always outranks
+            # nothing and underranks everything already queued for this
+            # instant (its seq would be the largest), so FIFO append is
+            # the exact heap order — no tuple, no sift.
+            if priority:
+                self._now_urgent.append(event)
+            else:
+                self._now_normal.append(event)
+            return
         tiebreak = 0
         if self.tiebreak is not None:
             tiebreak = self.tiebreak.key(self, priority, event)
         heapq.heappush(
             self._queue,
             (
-                self._now + delay,
+                when,
                 _URGENT if priority else _NORMAL,
                 tiebreak,
                 next(self._seq),
@@ -118,6 +189,8 @@ class Environment:
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
+        if self._now_urgent or self._now_normal:
+            return self._now
         if not self._queue:
             return float("inf")
         return self._queue[0][0]
@@ -129,17 +202,41 @@ class Environment:
         on re-raises its exception here: a crashed background process must
         surface as a simulation error, not as a silent hang.
         """
-        if not self._queue:
-            raise EmptySchedule()
-        when, _prio, _tiebreak, _seq, event = heapq.heappop(self._queue)
-        self._now = when
+        # Urgency classes are strict at one timestamp — every urgent event
+        # precedes every normal one — so checking the urgent deque first
+        # is the heap's order, even for urgents scheduled a moment ago by
+        # a normal event at this same instant.
+        if self._now_urgent:
+            event = self._now_urgent.popleft()
+        elif self._now_normal:
+            event = self._now_normal.popleft()
+        else:
+            queue = self._queue
+            if not queue:
+                raise EmptySchedule()
+            when, _prio, _tiebreak, _seq, event = heapq.heappop(queue)
+            self._now = when
+            if self._batched and self.tiebreak is None:
+                # Drain this timestamp's entire run: the pops come out in
+                # (priority, tiebreak, seq) order, so appending preserves
+                # it, and no later insert can outrank them (any event
+                # scheduled from now on carries a larger seq, and with no
+                # tiebreak policy seq is the only same-class ordering).
+                urgent, normal = self._now_urgent, self._now_normal
+                while queue and queue[0][0] == when:
+                    entry = heapq.heappop(queue)
+                    if entry[1] == _URGENT:
+                        urgent.append(entry[4])
+                    else:
+                        normal.append(entry[4])
+        self.events_processed += 1
+        if self.on_event is not None:
+            self.on_event(self._now, event)
         callbacks = event.callbacks
         event.callbacks = None
         for callback in callbacks:
             callback(event)
         if not callbacks and not event._ok and not getattr(event, "defused", False):
-            from .process import Process
-
             if isinstance(event, Process):
                 raise event._value
 
@@ -178,9 +275,10 @@ class Environment:
             stop_event.callbacks.append(self._stop_callback)
             self.schedule(stop_event, delay=at - self._now, priority=True)
 
+        step = self.step
         try:
             while True:
-                self.step()
+                step()
         except StopSimulation as stop:
             stop_value = stop.args[0] if stop.args else None
         except EmptySchedule:

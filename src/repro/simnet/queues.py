@@ -21,32 +21,36 @@ __all__ = ["Store", "PriorityStore", "StorePut", "StoreGet"]
 class StorePut(Event):
     """Event that fires once the item has been accepted by the store."""
 
-    __slots__ = ("item", "_store")
+    __slots__ = ("item", "cancelled")
 
     def __init__(self, store: "Store", item: Any):
         super().__init__(store.env)
         self.item = item
-        self._store = store
+        self.cancelled = False
         store._put_waiters.append(self)
         store._trigger()
 
     def cancel(self) -> None:
-        """Withdraw this put: the waiting process died before it landed."""
+        """Withdraw this put: the waiting process died before it landed.
+
+        Cancellation is a tombstone flag, not a ``deque.remove``: crashing
+        a host interrupts every waiter parked on its deep inboxes, and a
+        linear removal per waiter makes crash-heavy campaigns quadratic.
+        :meth:`Store._trigger` skips (and drops) tombstoned waiters when
+        they reach the head of the line.
+        """
         if not self.triggered:
-            try:
-                self._store._put_waiters.remove(self)
-            except ValueError:
-                pass
+            self.cancelled = True
 
 
 class StoreGet(Event):
     """Event that fires with the retrieved item."""
 
-    __slots__ = ("_store",)
+    __slots__ = ("cancelled",)
 
     def __init__(self, store: "Store"):
         super().__init__(store.env)
-        self._store = store
+        self.cancelled = False
         store._get_waiters.append(self)
         store._trigger()
 
@@ -57,13 +61,12 @@ class StoreGet(Event):
         worker blocked on its request queue) leaves an untriggered getter
         behind; the next ``put`` would succeed that orphan and the item
         would vanish — a request admitted but never served.  The process
-        machinery cancels its abandoned target on interrupt detach.
+        machinery cancels its abandoned target on interrupt detach.  Like
+        :meth:`StorePut.cancel` this only tombstones the event (O(1));
+        :meth:`Store._trigger` discards it when it surfaces.
         """
         if not self.triggered:
-            try:
-                self._store._get_waiters.remove(self)
-            except ValueError:
-                pass
+            self.cancelled = True
 
 
 class Store:
@@ -112,13 +115,19 @@ class Store:
         return False
 
     def _trigger(self) -> None:
-        """Match pending puts with capacity and pending gets with items."""
+        """Match pending puts with capacity and pending gets with items.
+
+        Cancelled waiters (tombstones left by :meth:`StorePut.cancel` /
+        :meth:`StoreGet.cancel`) are discarded as they reach the head of
+        their line, which keeps cancellation O(1) without ever serving a
+        dead waiter.
+        """
         progressed = True
         while progressed:
             progressed = False
             while self._put_waiters:
                 put_event = self._put_waiters[0]
-                if put_event.triggered:
+                if put_event.triggered or put_event.cancelled:
                     self._put_waiters.popleft()
                     continue
                 if self._do_put(put_event):
@@ -128,7 +137,7 @@ class Store:
                     break
             while self._get_waiters:
                 get_event = self._get_waiters[0]
-                if get_event.triggered:
+                if get_event.triggered or get_event.cancelled:
                     self._get_waiters.popleft()
                     continue
                 if self._do_get(get_event):

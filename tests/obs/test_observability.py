@@ -56,6 +56,69 @@ class TestObservabilityFacade:
         assert len(obs.traces) == 3
         assert obs.traces[0].request_id == 7
 
+    def test_sampling_traces_every_nth_request_exactly(self):
+        obs = Observability(sample_rate=0.25)
+        sampled = 0
+        for index in range(40):
+            trace = obs.request_trace("Svc.Op", index, float(index))
+            if trace is not NULL_TRACE:
+                sampled += 1
+            obs.finish_request(trace, float(index) + 0.1)
+        # Systematic sampling: the accumulator is primed so the first
+        # request is always traced, then exactly every 1/rate-th after.
+        assert sampled == 11
+        assert len(obs.traces) == 11
+
+    def test_unsampled_requests_still_counted(self):
+        obs = Observability(sample_rate=0.1)
+        for index in range(20):
+            trace = obs.request_trace("Svc.Op", index, 0.0)
+            obs.finish_request(trace, 0.5, status="ok" if index % 2 else "failed")
+        assert obs.metrics.counters["requests.total"].value == 20
+        assert obs.metrics.counters["requests.ok"].value == 10
+        assert obs.metrics.counters["requests.failed"].value == 10
+
+    def test_sample_rate_one_traces_everything(self):
+        obs = Observability(sample_rate=1.0)
+        traces = [obs.request_trace("Svc.Op", i, 0.0) for i in range(5)]
+        assert all(trace is not NULL_TRACE for trace in traces)
+
+    def test_sample_rate_zero_traces_nothing(self):
+        obs = Observability(sample_rate=0.0)
+        traces = [obs.request_trace("Svc.Op", i, 0.0) for i in range(5)]
+        assert all(trace is NULL_TRACE for trace in traces)
+
+    def test_sample_rate_validated(self):
+        with pytest.raises(ValueError):
+            Observability(sample_rate=1.5)
+        with pytest.raises(ValueError):
+            Observability(sample_rate=-0.1)
+
+    def test_sampled_durations_land_in_recent_ring(self):
+        obs = Observability()
+        trace = obs.request_trace("Svc.Op", 1, 0.0)
+        obs.finish_request(trace, 0.25)
+        ring = obs.metrics.ring("request.duration.recent")
+        assert ring.window() == [pytest.approx(0.25)]
+
+    def test_reset_drops_cached_phase_histogram_handles(self):
+        # Regression: reset() clears the registry's histograms; stale
+        # cached handles would keep folding into orphaned objects.
+        obs = Observability()
+        trace = obs.request_trace("Svc.Op", 1, 0.0)
+        trace.begin("invoke", 0.0).finish(0.2)
+        obs.finish_request(trace, 0.2)
+        obs.reset()
+        trace = obs.request_trace("Svc.Op", 2, 1.0)
+        trace.begin("invoke", 1.0).finish(1.3)
+        obs.finish_request(trace, 1.3)
+        assert obs.phase_summary()["invoke"]["count"] == 1
+        assert obs.metrics.histograms["phase.invoke"].count == 1
+
+    def test_config_sample_rate_reaches_system_observability(self):
+        system = WhisperSystem(ScenarioConfig(seed=1, obs_sample_rate=0.5))
+        assert system.obs.sample_rate == 0.5
+
     def test_exports_parse(self):
         obs = Observability()
         trace = obs.request_trace("Svc.Op", 1, 0.0)

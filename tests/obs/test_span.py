@@ -115,3 +115,16 @@ class TestNullObjects:
 
     def test_null_span_singletons_shared(self):
         assert NULL_SPAN.child("a", 0.0) is NULL_SPAN.child("b", 1.0)
+
+    def test_null_span_state_cannot_be_mutated(self):
+        # Regression: ``tags = {}`` / ``children = []`` were shared
+        # mutable class attributes — one write through the singleton
+        # polluted every disabled-tracing call site forever.
+        import pytest
+
+        with pytest.raises(TypeError):
+            NULL_SPAN.tags["leak"] = 1
+        with pytest.raises((TypeError, AttributeError)):
+            NULL_SPAN.children.append("leak")  # tuple: no append
+        assert dict(NULL_SPAN.tags) == {}
+        assert tuple(NULL_SPAN.children) == ()

@@ -121,3 +121,42 @@ class TestAdvertisements:
             inputs=tuple(f"http://o#In{i}" for i in range(20)),
         )
         assert big.size_bytes() > small.size_bytes()
+
+
+class TestLazyXmlCache:
+    def _adv(self):
+        return SemanticAdvertisement(
+            group_id=PeerGroupId.from_name("g"), name="g", action="a",
+            inputs=("http://o#In",), outputs=("http://o#Out",),
+        )
+
+    def test_repeat_renders_are_cached_and_identical(self):
+        advertisement = self._adv()
+        first = advertisement.to_xml()
+        assert advertisement.to_xml() is first  # cached object, not re-render
+        assert advertisement.size_bytes() == len(first.encode())
+
+    def test_invalidate_after_mutation_re_renders(self):
+        advertisement = self._adv()
+        before = advertisement.to_xml()
+        advertisement.lifetime = 12.5
+        advertisement.invalidate_xml_cache()
+        after = advertisement.to_xml()
+        assert after != before
+        assert 'lifetime="12.5"' in after
+
+    def test_cache_flag_off_renders_eagerly(self, monkeypatch):
+        from repro.p2p import advertisement as advertisement_module
+
+        monkeypatch.setattr(advertisement_module, "CACHE_XML", False)
+        advertisement = self._adv()
+        first = advertisement.to_xml()
+        assert advertisement.to_xml() is not first  # fresh render each call
+        assert advertisement.to_xml() == first      # but equal content
+
+    def test_parse_after_cached_render_roundtrips(self):
+        advertisement = self._adv()
+        document = advertisement.to_xml()
+        parsed = advertisement_from_xml(document)
+        assert parsed.key() == advertisement.key()
+        assert parsed.get_sem_input() == ("http://o#In",)

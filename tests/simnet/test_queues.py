@@ -95,6 +95,102 @@ class TestStore:
         assert len(store) == 2
 
 
+class TestTombstoneCancellation:
+    """Cancellation is an O(1) tombstone, skipped in ``Store._trigger``."""
+
+    def test_cancelled_get_never_served(self, env):
+        store = Store(env)
+        first, second = store.get(), store.get()
+        first.cancel()
+        got = []
+
+        def consumer():
+            got.append((yield second))
+
+        env.process(consumer())
+        store.put("item")
+        env.run()
+        assert got == ["item"]
+        assert not first.triggered
+
+    def test_cancel_is_flag_not_removal(self, env):
+        store = Store(env)
+        events = [store.get() for _ in range(4)]
+        events[1].cancel()
+        events[2].cancel()
+        # Tombstones stay queued until they surface at the head...
+        assert len(store._get_waiters) == 4
+        assert events[1].cancelled and events[2].cancelled
+        store.put("a")
+        store.put("b")
+        env.run()
+        # ...then the head scan drops them without serving them.
+        assert events[0].value == "a" and events[3].value == "b"
+        assert not events[1].triggered and not events[2].triggered
+        assert len(store._get_waiters) == 0
+
+    def test_cancelled_put_never_lands(self, env):
+        store = Store(env, capacity=1)
+        store.put("fills")
+        blocked = store.put("withdrawn")
+        env.run()
+        assert not blocked.triggered
+        blocked.cancel()
+        got = []
+
+        def drain():
+            item = yield store.get()
+            got.append(item)
+
+        env.process(drain())
+        env.run()
+        # The withdrawn put must not slip into the freed capacity.
+        assert got == ["fills"]
+        assert len(store) == 0
+
+    def test_cancel_after_trigger_is_noop(self, env):
+        store = Store(env)
+        store.put("item")
+        getter = store.get()
+        env.run()
+        assert getter.triggered
+        getter.cancel()
+        assert not getter.cancelled
+        assert getter.value == "item"
+
+    def test_interrupted_waiter_leaves_item_for_live_waiter(self, env):
+        # The orphaned-getter semantics the seed's cancel protected:
+        # interrupting a parked process must not let a later put vanish
+        # into its abandoned getter.
+        from repro.simnet.events import Interrupt
+
+        store = Store(env)
+        got = []
+
+        def doomed():
+            try:
+                yield store.get()
+            except Interrupt:
+                pass
+
+        def survivor():
+            got.append((yield store.get()))
+
+        doomed_process = env.process(doomed())
+
+        def driver():
+            yield env.timeout(1.0)
+            env.process(survivor())
+            yield env.timeout(1.0)
+            doomed_process.interrupt("crash")
+            yield env.timeout(1.0)
+            store.put("payload")
+
+        env.process(driver())
+        env.run()
+        assert got == ["payload"]
+
+
 class TestPriorityStore:
     def test_smallest_first(self, env):
         store = PriorityStore(env)

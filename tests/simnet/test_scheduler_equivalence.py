@@ -1,0 +1,209 @@
+"""Determinism guard: the batched scheduler == the seed heap scheduler.
+
+The PR-5 checker's replay files, every seeded benchmark, and the perf
+record's baseline mode all assume one thing: swapping the scheduler
+implementation never changes the event order.  This suite pins that on
+seeds 7/11/42 at three levels:
+
+* a mixed kernel workload (colliding timers, zero-delay chains, store
+  handshakes, reverse-order interrupts) — byte-identical event orderings
+  and process-visible logs, with and without each ``TiebreakPolicy``;
+* full-stack checker runs (``run_schedule``) — identical
+  ``RunResult.digest()`` fingerprints, the exact digests replay files
+  verify;
+* a full deployment's observability — byte-identical request-trace JSON
+  and message counters.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+
+import pytest
+
+from repro.bench import ClosedLoopWorkload
+from repro.check import CheckScenario, Schedule, run_schedule
+from repro.check.tiebreak import (
+    AdversarialDelayTiebreak,
+    FifoTiebreak,
+    SeededShuffleTiebreak,
+)
+from repro.core import ScenarioConfig, WhisperSystem
+from repro.simnet import Environment
+from repro.simnet import environment as environment_module
+from repro.simnet.events import Interrupt
+from repro.simnet.queues import Store
+
+SEEDS = (7, 11, 42)
+
+
+def _digest(payload) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _run_mixed_kernel(seed: int, scheduler: str, tiebreak=None):
+    """A workload hitting every scheduling shape; returns (order, log).
+
+    ``order`` is the scheduler's own event sequence (via ``on_event``);
+    ``log`` is what the processes observed.  All randomness is drawn
+    up-front from ``seed`` so the two runs compare apples to apples.
+    """
+    rng = random.Random(seed)
+    delays = [
+        [rng.choice((0.0, 0.001, 0.001, 0.002, 0.005)) for _ in range(30)]
+        for _ in range(6)
+    ]
+    env = Environment(scheduler=scheduler, tiebreak=tiebreak)
+    order = []
+    env.on_event = lambda now, event: order.append(
+        (round(now, 9), type(event).__name__)
+    )
+    log = []
+    store_a, store_b = Store(env), Store(env)
+    parking = Store(env)  # never filled: sleepers park here until the storm
+
+    def ticker(index: int):
+        for step, delay in enumerate(delays[index]):
+            yield env.timeout(delay)
+            log.append((env.now, f"tick{index}.{step}"))
+
+    def producer():
+        for step in range(20):
+            store_a.put(("job", step))
+            item = yield store_b.get()
+            log.append((env.now, f"prod{step}:{item[1]}"))
+
+    def consumer():
+        for step in range(20):
+            item = yield store_a.get()
+            yield env.timeout(0.001 if step % 3 else 0.0)
+            store_b.put(("ack", item[1]))
+            log.append((env.now, f"cons{step}"))
+
+    def sleeper(index: int):
+        try:
+            yield parking.get() if index % 2 else env.timeout(60.0)
+            log.append((env.now, f"sleeper{index}:woke"))
+        except Interrupt as interrupt:
+            log.append((env.now, f"sleeper{index}:{interrupt.cause}"))
+
+    def interrupter(victims):
+        yield env.timeout(0.0131)
+        # Reverse order on purpose: the adversarial order for waiter
+        # cancellation, and interrupts take the priority (urgent) lane.
+        for victim in reversed(victims):
+            if victim.is_alive:
+                victim.interrupt("storm")
+        log.append((env.now, "storm-sent"))
+
+    processes = [env.process(ticker(i)) for i in range(6)]
+    processes += [env.process(producer()), env.process(consumer())]
+    sleepers = [env.process(sleeper(i)) for i in range(8)]
+    processes.append(env.process(interrupter(sleepers)))
+    for process in processes + sleepers:
+        env.run(until=process)
+    env.run()  # drain orphaned timeouts deterministically
+    return order, log
+
+
+class TestKernelEquivalence:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_event_order_and_log_identical(self, seed):
+        heap_order, heap_log = _run_mixed_kernel(seed, "heap")
+        batched_order, batched_log = _run_mixed_kernel(seed, "batched")
+        assert _digest(heap_order) == _digest(batched_order)
+        assert _digest(heap_log) == _digest(batched_log)
+        assert heap_order == batched_order
+        assert heap_log == batched_log
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize(
+        "policy_factory",
+        [
+            lambda seed: FifoTiebreak(),
+            lambda seed: SeededShuffleTiebreak(seed),
+            lambda seed: AdversarialDelayTiebreak("sleeper"),
+        ],
+        ids=["fifo", "shuffle", "adversarial"],
+    )
+    def test_equivalent_under_every_tiebreak_policy(self, seed, policy_factory):
+        # A policy may rank new events before drained peers, so the
+        # batched environment must route everything through the heap —
+        # and still produce the heap scheduler's exact order.
+        heap_order, heap_log = _run_mixed_kernel(
+            seed, "heap", tiebreak=policy_factory(seed)
+        )
+        batched_order, batched_log = _run_mixed_kernel(
+            seed, "batched", tiebreak=policy_factory(seed)
+        )
+        assert heap_order == batched_order
+        assert heap_log == batched_log
+
+    def test_zero_underflow_delay_keeps_seed_order(self):
+        # A positive delay tiny enough that now + delay == now must still
+        # be processed in seq order with genuinely-zero delays (the seed
+        # semantics), not fast-pathed ahead of or behind them.
+        def run(scheduler):
+            env = Environment(scheduler=scheduler)
+            log = []
+
+            def driver():
+                yield env.timeout(1.0)
+                for index in range(6):
+                    delay = 1e-18 if index % 2 else 0.0
+                    event = env.timeout(delay, value=index)
+                    event.add_callback(
+                        lambda ev: log.append((env.now, ev._value))
+                    )
+                yield env.timeout(1.0)
+
+            env.run(until=env.process(driver()))
+            return log
+
+        assert run("heap") == run("batched")
+
+
+class TestFullStackEquivalence:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_checker_digest_identical(self, monkeypatch, seed):
+        scenario = CheckScenario(
+            seed=seed, settle=4.0, probe_duration=4.0, cooldown=4.0
+        )
+        schedules = [
+            Schedule(label="baseline"),
+            Schedule(
+                tiebreak={"kind": "shuffle", "seed": seed}, label="shuffled"
+            ),
+        ]
+        for schedule in schedules:
+            digests = {}
+            for scheduler in ("heap", "batched"):
+                monkeypatch.setattr(
+                    environment_module, "DEFAULT_SCHEDULER", scheduler
+                )
+                digests[scheduler] = run_schedule(scenario, schedule).digest()
+            assert digests["heap"] == digests["batched"], schedule.label
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_obs_traces_byte_identical(self, monkeypatch, seed):
+        def run(scheduler):
+            monkeypatch.setattr(
+                environment_module, "DEFAULT_SCHEDULER", scheduler
+            )
+            system = WhisperSystem(ScenarioConfig(seed=seed, replicas=2, students=20))
+            service = system.deploy_student_service()
+            system.settle()
+            ClosedLoopWorkload(
+                system, service.address, service.path, "StudentInformation",
+                clients=2, think_time=0.05, requests_per_client=4,
+            ).run()
+            return (
+                system.obs.traces_to_json(),
+                system.obs.to_json(),
+                system.trace.snapshot(),
+            )
+
+        assert run("heap") == run("batched")
