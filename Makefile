@@ -1,6 +1,6 @@
 # Developer conveniences for the Whisper reproduction.
 
-.PHONY: install test bench examples figures overload exactly-once check check-self-test perf perf-smoke all clean
+.PHONY: install test bench examples figures overload exactly-once check check-self-test shard shard-smoke perf perf-smoke all clean
 
 install:
 	python setup.py develop
@@ -36,6 +36,18 @@ check:
 
 check-self-test:
 	python -m repro check --self-test
+
+# Semantic sharding: read-throughput scaling across federated shard
+# groups, Figure-4-style message growth, and the shard-group-crash
+# rebalance audit (exactly-once must hold across the ring handoff).
+shard:
+	python -m repro shard
+
+# The CI tier: a short 1-vs-4 sweep plus the rebalance audit, and a
+# cross-shard schedule-exploration pass.
+shard-smoke:
+	python -m repro shard --shards 1,4 --duration 4 --window 5
+	python -m repro check --shards 2 --seeds 1 --schedules 5 --timeout 300
 
 # Regenerate the committed simulator throughput record (full + smoke
 # tiers, baseline vs current modes; see EXPERIMENTS.md "Perf methodology").

@@ -90,6 +90,9 @@ class CheckScenario:
     slice_seconds: float = 0.5
     dedup_journal: bool = True
     epoch_fencing: bool = True
+    #: Federated shard groups for the enroll service; 1 keeps the
+    #: deployment (and every existing repro file's digest) unchanged.
+    shards: int = 1
 
     def replace(self, **changes: Any) -> "CheckScenario":
         return dataclasses.replace(self, **changes)
@@ -147,7 +150,11 @@ class RunResult:
 def _build_system(scenario: CheckScenario):
     """Deploy the check workload: §3's mutating EnrollStudent service,
     one independent operational store per replica (so the effect ledgers
-    attribute every application unambiguously)."""
+    attribute every application unambiguously).  With ``shards > 1`` the
+    same workload runs against federated shard groups — each a full
+    replica set with its own stores — which is what lets a schedule
+    crash one whole shard group and audit that exactly-once and election
+    safety survive the ring handoff."""
     config = ScenarioConfig(
         seed=scenario.seed,
         settle=scenario.settle,
@@ -160,12 +167,19 @@ def _build_system(scenario: CheckScenario):
         students=scenario.students,
         request_timeout=scenario.probe_timeout,
         deadline_budget=scenario.probe_budget,
+        shards=scenario.shards,
     )
     system = WhisperSystem(config)
-    implementations = [
-        student_enrollment(student_database(scenario.students))
-        for _ in range(scenario.replicas)
-    ]
+    if scenario.shards > 1:
+        implementations = lambda shard: [  # noqa: E731 — per-shard stores
+            student_enrollment(student_database(scenario.students))
+            for _ in range(scenario.replicas)
+        ]
+    else:
+        implementations = [
+            student_enrollment(student_database(scenario.students))
+            for _ in range(scenario.replicas)
+        ]
     service = system.deploy_service(
         student_admin_wsdl(),
         {"EnrollStudent": implementations},
@@ -261,7 +275,7 @@ def run_schedule(scenario: CheckScenario, schedule: Schedule) -> RunResult:
     result.probes_failed = probes["failed"]
     result.effects_applied = sum(
         len(peer.implementation.backend.effect_log)
-        for peer in service.group.peers
+        for peer in service.all_peers()
     )
     result.fired = injector.fired
     result.skipped = injector.skipped

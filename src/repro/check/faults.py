@@ -42,9 +42,10 @@ class DecisionFaultInjector:
         self.system = system
         self.service = service
         #: Hosts whose traffic defines the decision space: the b-peer
-        #: replicas.  Probe/client and rendezvous chatter that never
-        #: touches a replica is not a protocol decision worth perturbing.
-        self.watched = {peer.node.name for peer in service.group.peers}
+        #: replicas across every federated shard group.  Probe/client and
+        #: rendezvous chatter that never touches a replica is not a
+        #: protocol decision worth perturbing.
+        self.watched = {peer.node.name for peer in service.all_peers()}
         self._pending: List[FaultOp] = sorted(ops, key=lambda op: op.at_decision)
         #: Global decision counter (1-based after the first decision).
         self.decisions = 0
@@ -60,7 +61,7 @@ class DecisionFaultInjector:
         if self._installed:
             return
         self.system.network.add_hook(self._network_hook)
-        for peer in self.service.group.peers:
+        for peer in self.service.all_peers():
             peer.pre_commit_hook = self._pre_commit_hook
         self._installed = True
 
@@ -68,7 +69,7 @@ class DecisionFaultInjector:
         if not self._installed:
             return
         self.system.network.remove_hook(self._network_hook)
-        for peer in self.service.group.peers:
+        for peer in self.service.all_peers():
             peer.pre_commit_hook = None
         self._installed = False
 
@@ -132,9 +133,15 @@ class DecisionFaultInjector:
         return None
 
     def _resolve_coordinator(self):
-        """The live peer claiming coordination under the highest epoch."""
+        """The live peer claiming coordination under the highest epoch.
+
+        In sharded deployments every group has a coordinator; the highest
+        epoch across all of them is still "the most recently legitimate
+        authority" — directed schedules that must hit one specific shard
+        group name its hosts with ``crash``/``partition`` targets instead.
+        """
         best = None
-        for peer in self.service.group.peers:
+        for peer in self.service.all_peers():
             if not (peer.node.up and peer.coordinator_mgr.is_coordinator):
                 continue
             if best is None or peer.coordinator_mgr.epoch > best.coordinator_mgr.epoch:

@@ -9,6 +9,8 @@
     python -m repro campaign [--duration 90] [--workload enroll] [--loss 0.01]
                              [--no-journal] [--json]
     python -m repro overload [--rates 125,250,375,500] [--queue-bound 8]
+    python -m repro shard [--shards 1,2,4] [--replicas 2] [--rate-multiple 3.0]
+                          [--skip-rebalance] [--json]
     python -m repro check [--seeds 5] [--schedules 50] [--timeout 300]
                           [--self-test] [--replay FILE] [--out FILE] [--json]
     python -m repro trace [--samples 20] [--crash] [--last 5] [--json]
@@ -255,6 +257,103 @@ def _cmd_overload(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_shard(args: argparse.Namespace) -> int:
+    """Sharding sweep: read scaling, message growth, rebalance safety."""
+    from .bench.sharding import run_rebalance, run_shard_sweep, shard_capacity
+
+    shard_counts = [int(s) for s in args.shards.split(",") if s.strip()]
+    points = run_shard_sweep(
+        shard_counts=shard_counts,
+        replicas=args.replicas,
+        rate_multiple=args.rate_multiple,
+        duration=args.duration,
+        seed=args.seed,
+        message_window=args.window,
+    )
+    rebalance = None
+    if not args.skip_rebalance:
+        rebalance = run_rebalance(
+            shards=max(shard_counts),
+            replicas=args.replicas,
+            seed=args.seed,
+        )
+
+    if args.json:
+        payload = {
+            "sweep": [
+                {
+                    "shards": p.shards,
+                    "replicas_per_shard": p.replicas_per_shard,
+                    "rate": p.rate,
+                    "shard_knee": p.shard_knee,
+                    "requests": p.requests,
+                    "successes": p.successes,
+                    "shed": p.shed,
+                    "timeouts": p.timeouts,
+                    "faults": p.faults,
+                    "throughput": p.throughput,
+                    "p50_ms": p.latency.p50 * 1000,
+                    "p99_ms": p.latency.p99 * 1000,
+                    "shard_routed": p.shard_routed,
+                    "steady_messages": p.steady_messages,
+                    "per_group_executed": p.per_group_executed,
+                }
+                for p in points
+            ],
+            "speedup": (
+                points[-1].throughput / points[0].throughput
+                if points and points[0].throughput > 0
+                else None
+            ),
+            "rebalance": None
+            if rebalance is None
+            else {
+                "shards": rebalance.shards,
+                "victim": rebalance.victim,
+                "remapped_fraction": rebalance.remapped_fraction,
+                "enrollments": rebalance.enrollments,
+                "succeeded": rebalance.succeeded,
+                "failed": rebalance.failed,
+                "shard_failovers": rebalance.shard_failovers,
+                "distinct_effects": rebalance.distinct_effects,
+                "double_applied": rebalance.double_applied,
+                "exactly_once": rebalance.exactly_once,
+            },
+        }
+        print(json_module.dumps(payload, indent=2))
+        return 0
+
+    knee = shard_capacity(args.replicas)
+    print(format_table(
+        ["shards", "offered/s", "requests", "ok", "shed",
+         "tput", "p50 ms", "p99 ms", "msgs"],
+        [p.row() for p in points],
+        title=(
+            f"Shard scaling — {args.replicas} replicas/shard "
+            f"(knee ~{knee:.0f}/s each), offered "
+            f"{args.rate_multiple:.1f}x one shard's knee, "
+            f"{args.duration:.0f}s Poisson + {args.window:.0f}s message window"
+        ),
+    ))
+    if len(points) > 1 and points[0].throughput > 0:
+        speedup = points[-1].throughput / points[0].throughput
+        print(f"\nspeedup at {points[-1].shards} shards vs "
+              f"{points[0].shards}: {speedup:.2f}x")
+    if rebalance is not None:
+        print()
+        print(format_table(
+            ["metric", "value"],
+            rebalance.rows(),
+            title=(
+                "Rebalance — whole shard group crashed mid-enrollment "
+                "(ring-successor handoff, per-group dedup journals)"
+            ),
+        ))
+        print("exactly-once across handoff: "
+              + ("HELD" if rebalance.exactly_once else "VIOLATED"))
+    return 0 if rebalance is None or rebalance.exactly_once else 1
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     """Schedule exploration: 0 = clean, 1 = counterexample, 2 = checker broken."""
     from .check import CheckScenario, ScheduleExplorer, replay_repro, self_test
@@ -302,7 +401,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
         return 0 if outcome["ok"] else 2
 
     explorer = ScheduleExplorer(
-        CheckScenario(),
+        CheckScenario(shards=args.shards),
         seeds=range(args.seed, args.seed + args.seeds),
         schedules_per_seed=args.schedules,
         max_ops=args.max_ops,
@@ -528,6 +627,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     overload.set_defaults(func=_cmd_overload, duration=5.0)
 
+    shard = subparsers.add_parser(
+        "shard",
+        parents=[seed_parent, json_parent],
+        help="semantic sharding: read scaling, message growth, rebalance",
+    )
+    shard.add_argument(
+        "--shards", default="1,2,4",
+        help="comma-separated shard counts to sweep",
+    )
+    shard.add_argument(
+        "--replicas", type=int, default=2,
+        help="replicas per shard group (fixed across the sweep)",
+    )
+    shard.add_argument(
+        "--rate-multiple", type=float, default=3.0,
+        help="offered load as a multiple of one shard group's knee",
+    )
+    shard.add_argument(
+        "--duration", type=float, default=8.0,
+        help="Poisson workload duration per point (simulated seconds)",
+    )
+    shard.add_argument(
+        "--window", type=float, default=10.0,
+        help="steady-state message-count window per point",
+    )
+    shard.add_argument(
+        "--skip-rebalance", action="store_true",
+        help="skip the shard-group-crash rebalance audit",
+    )
+    shard.set_defaults(func=_cmd_shard)
+
     check = subparsers.add_parser(
         "check",
         parents=[seed_parent, json_parent],
@@ -561,6 +691,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--self-test", action="store_true",
         help="disable epoch fencing and require the checker to catch, "
              "shrink, and replay the resulting violation",
+    )
+    check.add_argument(
+        "--shards", type=int, default=1,
+        help="federated shard groups for the explored enroll service "
+             "(cross-shard schedules audit ring handoff safety)",
     )
     check.set_defaults(func=_cmd_check)
 

@@ -30,12 +30,17 @@ def semantic_advertisement_for(
     ontology_uri: str,
     description: str = "",
     qos: Optional["QosMetrics"] = None,
+    shard_index: Optional[int] = None,
+    shard_count: Optional[int] = None,
 ) -> SemanticAdvertisement:
     """Build the group's semantic advertisement from a WSDL-S annotation.
 
     ``qos`` optionally attaches the §2.4 QoS annotation (advertised
     expected time / cost / reliability) that QoS-aware proxies use as a
-    selection prior.
+    selection prior.  ``shard_index``/``shard_count`` mark the group as
+    one shard of a federated set partitioning the service keyspace; both
+    stay ``None`` for single-group deployments so the advertisement wire
+    format is unchanged.
     """
     return SemanticAdvertisement(
         group_id=PeerGroupId.from_name(group_name),
@@ -48,6 +53,8 @@ def semantic_advertisement_for(
         qos_time=qos.time if qos is not None else None,
         qos_cost=qos.cost if qos is not None else None,
         qos_reliability=qos.reliability if qos is not None else None,
+        shard_index=shard_index,
+        shard_count=shard_count,
     )
 
 
@@ -107,6 +114,8 @@ def deploy_bpeer_group(
     epoch_fencing: bool = True,
     advertise_remote: bool = True,
     advertise_qos: Optional[QosMetrics] = None,
+    shard_index: Optional[int] = None,
+    shard_count: Optional[int] = None,
 ) -> BPeerGroup:
     """Place one b-peer per implementation and wire the group together.
 
@@ -124,6 +133,8 @@ def deploy_bpeer_group(
         ontology_uri,
         description=f"b-peer group {group_name}",
         qos=advertise_qos,
+        shard_index=shard_index,
+        shard_count=shard_count,
     )
     group = BPeerGroup(
         group_id=advertisement.group_id,

@@ -425,13 +425,13 @@ class FaultCampaign:
             if counter is not None:
                 setattr(report, attribute, counter.value)
         seen_backends = set()
-        for peer in service.group.peers:
+        for peer in service.all_peers():
             backend = peer.implementation.backend
             if id(backend) in seen_backends:
                 continue
             seen_backends.add(id(backend))
             report.effects_applied += len(backend.effect_log)
-        totals = effect_totals(service.group.peers)
+        totals = effect_totals(service.all_peers())
         report.distinct_effects = len(totals)
         report.double_applied = {
             invocation_id: count
@@ -447,7 +447,7 @@ class FaultCampaign:
         run by the *same* definitions — a violation either harness finds
         is a violation to the other.
         """
-        peers = self.service.group.peers
+        peers = self.service.all_peers()
         violations = report.violations
         violations.extend(self.system.failures.alternation_violations())
         violations.extend(announced_epoch_violations(peers))
@@ -458,5 +458,9 @@ class FaultCampaign:
         # failing — it is the control that proves the audit has teeth.
         if self.dedup_journal:
             violations.extend(exactly_once_violations(peers))
-        # Convergence only means anything after the cooldown settled.
-        violations.extend(convergence_violations(peers))
+        # Convergence only means anything after the cooldown settled, and
+        # applies within each shard group (each elects its own coordinator).
+        groups = self.service.all_groups()
+        for group in groups:
+            label = group.name if len(groups) > 1 else ""
+            violations.extend(convergence_violations(group.peers, group=label))

@@ -77,6 +77,22 @@ class ScenarioConfig:
     #: Bound on journal entries per peer (oldest DONE evicted past it).
     journal_capacity: int = 4096
 
+    # -- semantic sharding --
+    #: Number of federated b-peer groups the service's semantic keyspace
+    #: is consistent-hashed across.  1 keeps the paper's single-group
+    #: deployment (byte-identical messages to the seed); N>1 deploys N
+    #: groups, each with its own replication/election/journal, and the
+    #: proxy routes on the annotation+argument key.
+    shards: int = 1
+    #: Virtual nodes per shard group on the consistent-hash ring; more
+    #: points smooth the per-shard key distribution and shrink the
+    #: segment remapped by one group's failover.
+    virtual_nodes: int = 64
+    #: Cross-shard read policy for scatter-gather: ``all`` (raise on any
+    #: shard failure), ``quorum`` (strict majority), or ``partial``
+    #: (>=1 success, degraded answers flagged, the default).
+    scatter_policy: str = "partial"
+
     # -- canonical student scenario (§3) --
     replicas: int = 4
     students: int = 200

@@ -76,21 +76,36 @@ class DispatchPolicy:
 
 
 class RoundRobinDispatch(DispatchPolicy):
-    """Blind rotation over the member view (the seed's behaviour)."""
+    """Blind rotation over the member view, by member identity.
+
+    The rotation remembers the *identity* of the last-served member and
+    advances to the next live member in sorted-id order (wrapping), not a
+    positional cursor into the view list.  A positional cursor skews when
+    the view shrinks or grows mid-rotation (failover, autoscale): the
+    same member can be served twice in a cycle while another is skipped
+    entirely.  Identity rotation guarantees every continuously-live
+    member is served exactly once per cycle regardless of churn.
+    """
 
     name = "round-robin"
 
     def __init__(self):
-        self._cursor = 0
+        self._last: Optional[PeerId] = None
 
     def choose(
         self, members: Sequence[PeerId], load: Dict[PeerId, MemberLoad]
     ) -> Optional[PeerId]:
         if not members:
             return None
-        choice = members[self._cursor % len(members)]
-        self._cursor += 1
-        return choice
+        ordered = sorted(members, key=str)
+        if self._last is not None:
+            last_key = str(self._last)
+            for member in ordered:
+                if str(member) > last_key:
+                    self._last = member
+                    return member
+        self._last = ordered[0]
+        return ordered[0]
 
 
 class LeastOutstandingDispatch(DispatchPolicy):
@@ -128,10 +143,23 @@ class QosWeightedDispatch(DispatchPolicy):
 
     name = "qos"
 
-    def __init__(self, selector: Optional[QosSelector] = None):
+    #: Prior for members that have not reported yet.  ``QosMetrics`` is
+    #: frozen, so the shared default cannot be corrupted in place; a
+    #: per-instance override goes through the constructor.
+    DEFAULT_QOS = QosMetrics(time=0.05, cost=1.0, reliability=1.0)
+
+    def __init__(
+        self,
+        selector: Optional[QosSelector] = None,
+        default_qos: Optional[QosMetrics] = None,
+    ):
         self.selector = selector or QosSelector()
-        #: Prior for members that have not reported yet.
-        self.default_qos = QosMetrics(time=0.05, cost=1.0, reliability=1.0)
+        self._default_qos = default_qos if default_qos is not None else self.DEFAULT_QOS
+
+    @property
+    def default_qos(self) -> QosMetrics:
+        """The (immutable) prior used for members with no report yet."""
+        return self._default_qos
 
     def choose(
         self, members: Sequence[PeerId], load: Dict[PeerId, MemberLoad]

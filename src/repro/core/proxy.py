@@ -37,7 +37,7 @@ from ..p2p.ids import PeerGroupId, PeerId
 from ..p2p.peer import Peer
 from ..qos.metrics import QosProfile
 from ..qos.selection import QosSelector
-from ..simnet.events import AnyOf
+from ..simnet.events import AllOf, AnyOf
 from ..simnet.message import Address
 from ..soap.fault import SoapFault
 from ..wsdl.schema import SchemaError
@@ -46,6 +46,7 @@ from .errors import InvocationFailedError, NoCoordinatorError, NoMatchingGroupEr
 from .matching import GroupMatch, SemanticGroupMatcher
 from .result import InvokeOutcome, InvokeResult
 from .retry import Deadline, RetryPolicy
+from .sharding import ScatterResult, ShardRouter, shard_key
 from .sws import SemanticWebService
 
 __all__ = ["SwsProxy", "ProxyStats"]
@@ -78,6 +79,19 @@ class ProxyStats:
     #: Sheds whose retry-after hint we slept on before retrying (the
     #: remainder arrived with the deadline already exhausted).
     retry_after_honored: int = 0
+    #: Invocations routed by the consistent-hash shard ring (only
+    #: sharded deployments increment this).
+    shard_routed: int = 0
+    #: Invocations rerouted to a ring successor after their home shard
+    #: group stopped answering (read legs and never-sent requests only —
+    #: a sent mutating request stays pinned to its home group so dedup
+    #: journals never need to span groups).
+    shard_failovers: int = 0
+    #: Cross-shard scatter-gather reads issued.
+    scatter_calls: int = 0
+    #: Scatters that completed degraded (some shard legs failed but the
+    #: partial-result policy accepted the gather).
+    scatter_partial: int = 0
     #: Durations (seconds, start to completion) of invocations that
     #: needed recovery — i.e. the proxy's observed failover times.
     failover_durations: List[float] = field(default_factory=list)
@@ -92,6 +106,35 @@ class _Binding:
     #: answering peer predates epochs); stamped onto every request so
     #: b-peers can fence stale bindings.
     epoch: Optional[Epoch] = None
+
+
+def _shard_set_complete(matches: List[GroupMatch]) -> bool:
+    """True when no advertised shard set in ``matches`` is missing members.
+
+    Unsharded matches are trivially complete; a sharded advertisement
+    declares how many siblings exist (``shard_count``), so completeness
+    is checkable locally without a central shard map.
+    """
+    sets: Dict[Tuple[str, int], set] = {}
+    for match in matches:
+        advertisement = match.advertisement
+        if advertisement.sharded:
+            sets.setdefault(
+                (advertisement.action, advertisement.shard_count), set()
+            ).add(advertisement.name)
+    return all(len(names) >= count for (_action, count), names in sets.items())
+
+
+def _shard_threshold(matches: List[GroupMatch]) -> int:
+    """Discovery threshold covering the largest known shard set (min 1)."""
+    return max(
+        (
+            m.advertisement.shard_count
+            for m in matches
+            if m.advertisement.sharded
+        ),
+        default=1,
+    )
 
 
 class SwsProxy(Peer):
@@ -112,6 +155,9 @@ class SwsProxy(Peer):
         deadline_budget: float = 60.0,
         resolve_grace: float = 0.02,
         epoch_fencing: bool = True,
+        scatter_policy: str = "partial",
+        virtual_nodes: int = 64,
+        shard_suspect_interval: float = 10.0,
         name: Optional[str] = None,
     ):
         super().__init__(node, name=name or f"proxy:{sws.name}")
@@ -136,6 +182,20 @@ class SwsProxy(Peer):
         #: answers so a split-brain minority cannot win the bind simply by
         #: replying first — the highest epoch wins instead.
         self.resolve_grace = resolve_grace
+        #: Cross-shard read policy (``all`` / ``quorum`` / ``partial``).
+        self.scatter_policy = scatter_policy
+        self.virtual_nodes = virtual_nodes
+        #: How long a non-answering shard group's ring segment is served
+        #: by its clockwise successors before being retried.
+        self.shard_suspect_interval = shard_suspect_interval
+        #: Operations whose every implementation is side-effect free
+        #: (wired at deploy time).  Read legs may fail over to a ring
+        #: successor even after a send; anything not listed here is
+        #: treated as mutating and stays pinned once sent.
+        self.read_only_operations: set = set()
+        #: Per-operation shard routers, built lazily from discovered
+        #: shard-annotated advertisements (discovery *is* the shard map).
+        self._routers: Dict[str, ShardRouter] = {}
         self.stats = ProxyStats()
         #: Network-wide observability (disabled on bare networks): every
         #: invocation records a request trace with per-phase spans.
@@ -168,30 +228,57 @@ class SwsProxy(Peer):
         match is a remote discovery query issued.  Returns the list of
         matches, best first (``yield from``).  A ``deadline`` caps each
         remote query's timeout at the request's remaining budget.
+
+        Shard awareness: an advertisement carrying ``shard_count`` means
+        the keyspace is partitioned over that many sibling groups, so a
+        match set that covers only part of a shard set re-queries with
+        the full count as the threshold — the ring must see every shard
+        group or keys would silently concentrate on the ones discovered.
         """
         annotation = self.sws.annotation(operation)
-        local = self.discovery.get_local_advertisements(SemanticAdvertisement)
-        matches = self.group_matcher.find_all(annotation, local)
-        if matches:
+
+        def scan_local() -> List[GroupMatch]:
+            local = self.discovery.get_local_advertisements(SemanticAdvertisement)
+            return self.group_matcher.find_all(annotation, local)
+
+        matches = scan_local()
+        if matches and _shard_set_complete(matches):
             return matches
         self.stats.remote_discoveries += 1
         self.obs.metrics.inc("proxy.remote_discoveries")
         timeout = self.discovery_timeout
         if deadline is not None:
             timeout = deadline.clamp(self.env.now, timeout)
-        # Fast path: query by the exact action concept (threshold=1 returns
-        # as soon as the first response lands; the rendezvous answers with
-        # every matching SRDI document in one message).
+        # Fast path: query by the exact action concept (the rendezvous
+        # answers with up to ``threshold`` matching SRDI documents in one
+        # message — 1 suffices unless a known shard set needs more).
         remote = yield from self.discovery.get_remote_advertisements(
             SemanticAdvertisement,
             attribute="Action",
             value=annotation.action,
             timeout=timeout,
-            threshold=1,
+            threshold=_shard_threshold(matches),
         )
-        matches = self.group_matcher.find_all(annotation, remote)
+        # Remote results were published into the local cache; re-scan so
+        # previously known and freshly discovered advertisements merge.
+        matches = scan_local() if matches else self.group_matcher.find_all(
+            annotation, remote
+        )
         if matches:
-            return matches
+            if _shard_set_complete(matches):
+                return matches
+            # The first answer revealed a shard set we only partially
+            # know: one directed re-query for the full set.
+            if deadline is not None:
+                timeout = deadline.clamp(self.env.now, self.discovery_timeout)
+            yield from self.discovery.get_remote_advertisements(
+                SemanticAdvertisement,
+                attribute="Action",
+                value=annotation.action,
+                timeout=timeout,
+                threshold=_shard_threshold(matches),
+            )
+            return scan_local()
         # Slow path: groups advertising an *equivalent or related* action
         # concept carry a different Action attribute; fetch everything and
         # let the semantic matcher decide.
@@ -393,11 +480,96 @@ class SwsProxy(Peer):
             raise NoMatchingGroupError(
                 f"no b-peer group matches {self.sws.name}.{operation}"
             )
-        match = self._choose_group(matches)
+        router = self._shard_router_for(operation, matches)
+        routing_key: Optional[str] = None
+        match_by_name: Dict[str, GroupMatch] = {}
+        if router is not None:
+            match_by_name = {
+                m.advertisement.name: m
+                for m in matches
+                if m.advertisement.sharded
+            }
+            routing_key = shard_key(
+                self.sws.annotation(operation).action, arguments
+            )
+            owner = router.route(routing_key, self.env.now)
+            match = match_by_name.get(owner) if owner is not None else None
+            if match is None:
+                match = self._choose_group(matches)
+            self.stats.shard_routed += 1
+            self.obs.metrics.inc("proxy.shard_routed")
+        else:
+            match = self._choose_group(matches)
+        result = yield from self._invoke_attempts(
+            operation,
+            arguments,
+            match,
+            per_request_timeout=per_request_timeout,
+            deadline=deadline,
+            rtrace=rtrace,
+            invocation_id=invocation_id,
+            started_at=started_at,
+            router=router,
+            routing_key=routing_key,
+            match_by_name=match_by_name,
+        )
+        return result
+
+    def _shard_router_for(
+        self, operation: str, matches: List[GroupMatch]
+    ) -> Optional[ShardRouter]:
+        """The operation's shard router, fed from discovered shard ads.
+
+        Returns ``None`` for unsharded deployments (no match carries a
+        shard annotation), leaving the single-group path untouched.  The
+        router's ring is merged *additively* from whatever shard groups
+        this discovery round surfaced — a partial view must never shrink
+        the ring and misroute keys other rounds resolved correctly.
+        """
+        sharded = [m.advertisement.name for m in matches if m.advertisement.sharded]
+        if not sharded:
+            return None
+        router = self._routers.get(operation)
+        if router is None:
+            router = ShardRouter(
+                virtual_nodes=self.virtual_nodes,
+                suspect_interval=self.shard_suspect_interval,
+            )
+            self._routers[operation] = router
+        router.update(sharded)
+        return router
+
+    def _invoke_attempts(
+        self,
+        operation: str,
+        arguments: Dict[str, Any],
+        match: GroupMatch,
+        *,
+        per_request_timeout: float,
+        deadline: Deadline,
+        rtrace,
+        invocation_id: str,
+        started_at: float,
+        router: Optional[ShardRouter] = None,
+        routing_key: Optional[str] = None,
+        match_by_name: Optional[Dict[str, GroupMatch]] = None,
+    ) -> Generator:
+        """The bind/send/retry loop against one (possibly rerouting) group.
+
+        With a ``router``, a group that stops answering is suspected and
+        the request fails over to the key's ring successor — but only if
+        it is still safe: a mutating request that has been *sent* is
+        pinned to its home group (sticky at-most-once handoff), so a
+        retried invocation id never spans two groups and each group's
+        dedup journal alone suffices for exactly-once.
+        """
         advertisement = match.advertisement
         group_id = advertisement.group_id
         profile = self._profile_for(advertisement.key(), advertisement)
         recovered = False
+        #: Whether any attempt has actually been handed to the network —
+        #: the point past which a mutating request may have executed.
+        sent = False
         # Opened on the first failure signal, closed when the request
         # completes: the span's duration is the observed failover time.
         recover_span = None
@@ -424,6 +596,33 @@ class SwsProxy(Peer):
             delay = min(delay, deadline.remaining(self.env.now))
             if delay > 0.0:
                 yield self.env.timeout(delay)
+
+        def try_reroute() -> bool:
+            """Fail the key over to its ring successor, if safe.
+
+            Suspects the current group either way (so *fresh* requests
+            stop landing on it); reroutes this request only when its
+            invocation id cannot already live in the home group's
+            journal — i.e. read-only operations, or nothing sent yet.
+            """
+            nonlocal advertisement, group_id, profile
+            if router is None or routing_key is None:
+                return False
+            router.suspect(advertisement.name, self.env.now)
+            if sent and operation not in self.read_only_operations:
+                return False
+            owner = router.route(routing_key, self.env.now)
+            if owner is None or owner == advertisement.name:
+                return False
+            successor = (match_by_name or {}).get(owner)
+            if successor is None:
+                return False
+            advertisement = successor.advertisement
+            group_id = advertisement.group_id
+            profile = self._profile_for(advertisement.key(), advertisement)
+            self.stats.shard_failovers += 1
+            self.obs.metrics.inc("proxy.shard_failovers")
+            return True
 
         while True:
             if attempt >= self.max_attempts:
@@ -473,11 +672,14 @@ class SwsProxy(Peer):
                     bind_span.finish(self.env.now, outcome="no-coordinator")
                     failures += 1
                     enter_recovery("no-coordinator")
+                    if try_reroute():
+                        continue  # ring successor takes the segment now
                     # Group may be mid-election: back off and retry.
                     yield from backoff()
                     continue
                 bind_span.finish(self.env.now, outcome="ok")
             invoke_span = rtrace.begin("invoke", self.env.now)
+            sent = True
             reply = yield from self._send_and_wait(
                 binding,
                 operation,
@@ -494,6 +696,7 @@ class SwsProxy(Peer):
                 self.drop_binding(group_id)
                 failures += 1
                 enter_recovery("timeout")
+                try_reroute()
                 continue
             if reply.kind == "result":
                 if not reply.deduped and self._result_is_stale(group_id, reply):
@@ -609,6 +812,110 @@ class SwsProxy(Peer):
                 raise SoapFault.server(
                     f"all b-peers of {advertisement.name!r} cannot serve"
                 )
+
+    # -- cross-shard scatter-gather ---------------------------------------------------------
+
+    def scatter(
+        self,
+        operation: str,
+        arguments: Dict[str, Any],
+        timeout: Optional[float] = None,
+        budget: Optional[float] = None,
+        policy: Optional[str] = None,
+    ) -> Generator:
+        """Fan a read out to *every* shard group and gather (``yield from``).
+
+        Each shard leg runs the full bind/retry loop pinned to its own
+        group (its own invocation id, so per-group dedup still applies);
+        legs proceed concurrently and the gather completes when all have
+        settled.  The partial-result ``policy`` (defaulting to the
+        proxy's configured one) decides whether a gather with failed
+        legs returns degraded (:attr:`ScatterResult.partial`) or raises
+        :class:`~repro.core.sharding.ScatterError`.
+
+        Against an unsharded deployment this degenerates to a
+        single-leg gather over the one matched group.
+        """
+        self.stats.scatter_calls += 1
+        self.obs.metrics.inc("proxy.scatter_calls")
+        rtrace = self.obs.request_trace(
+            f"{self.sws.name}.{operation}#scatter",
+            self.stats.scatter_calls,
+            self.env.now,
+        )
+        try:
+            result = yield from self._scatter(
+                operation, arguments, timeout, budget, policy, rtrace
+            )
+        except BaseException as error:
+            self.obs.finish_request(rtrace, self.env.now, status=type(error).__name__)
+            raise
+        self.obs.finish_request(rtrace, self.env.now, status="ok")
+        return result
+
+    def _scatter(
+        self,
+        operation: str,
+        arguments: Dict[str, Any],
+        timeout: Optional[float],
+        budget: Optional[float],
+        policy: Optional[str],
+        rtrace,
+    ) -> Generator:
+        started_at = self.env.now
+        per_request_timeout = timeout if timeout is not None else self.request_timeout
+        deadline = Deadline(
+            at=started_at + (budget if budget is not None else self.deadline_budget)
+        )
+        discover_span = rtrace.begin("discover", self.env.now)
+        matches = yield from self.find_peer_group_adv(operation, deadline=deadline)
+        discover_span.finish(self.env.now, matches=len(matches))
+        if not matches:
+            raise NoMatchingGroupError(
+                f"no b-peer group matches {self.sws.name}.{operation}"
+            )
+        sharded = [m for m in matches if m.advertisement.sharded]
+        if sharded:
+            targets = {m.advertisement.name: m for m in sharded}
+        else:
+            chosen = self._choose_group(matches)
+            targets = {chosen.advertisement.name: chosen}
+        outcome = ScatterResult(
+            operation=operation,
+            policy=policy if policy is not None else self.scatter_policy,
+            shards=len(targets),
+        )
+
+        def leg(name: str, match: GroupMatch) -> Generator:
+            invocation_id = f"{self.name}#{next(self._invocation_ids)}"
+            try:
+                result = yield from self._invoke_attempts(
+                    operation,
+                    arguments,
+                    match,
+                    per_request_timeout=per_request_timeout,
+                    deadline=deadline,
+                    rtrace=rtrace,
+                    invocation_id=invocation_id,
+                    started_at=self.env.now,
+                )
+                outcome.results[name] = result
+            except Exception as error:
+                # Captured per shard, never propagated out of the leg's
+                # process: the policy decides after the gather.
+                outcome.failures[name] = f"{type(error).__name__}: {error}"
+
+        processes = [
+            self.node.spawn(leg(name, match))
+            for name, match in sorted(targets.items())
+        ]
+        yield AllOf(self.env, processes)
+        outcome.duration = self.env.now - started_at
+        if outcome.partial:
+            self.stats.scatter_partial += 1
+            self.obs.metrics.inc("proxy.scatter_partial")
+        outcome.evaluate()
+        return outcome
 
     def _highest_witnessed(self, binding: _Binding) -> Optional[Epoch]:
         """The freshest term this proxy can vouch for, gossiped to b-peers."""

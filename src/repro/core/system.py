@@ -49,7 +49,10 @@ class DeployedService:
 
     ``group`` is the group backing the service's first operation (the
     common single-operation case); ``groups`` maps every operation to its
-    own b-peer group for multi-operation services.
+    own b-peer group for multi-operation services.  Sharded deployments
+    additionally fill ``shard_groups``: per operation, the full list of
+    federated shard groups (``groups`` then holds shard 0 for
+    compatibility with single-group callers).
     """
 
     sws: SemanticWebService
@@ -57,11 +60,16 @@ class DeployedService:
     proxy: SwsProxy
     group: BPeerGroup
     groups: Optional[Dict[str, BPeerGroup]] = None
+    shard_groups: Optional[Dict[str, List[BPeerGroup]]] = None
 
     def __post_init__(self):
         if self.groups is None:
             self.groups = {
                 operation: self.group for operation in self.sws.operations()
+            }
+        if self.shard_groups is None:
+            self.shard_groups = {
+                operation: [group] for operation, group in self.groups.items()
             }
 
     @property
@@ -74,6 +82,21 @@ class DeployedService:
 
     def group_for(self, operation: str) -> BPeerGroup:
         return self.groups[operation]
+
+    def shard_groups_for(self, operation: str) -> List[BPeerGroup]:
+        return self.shard_groups[operation]
+
+    def all_groups(self) -> List[BPeerGroup]:
+        """Every distinct b-peer group backing this service."""
+        seen: Dict[int, BPeerGroup] = {}
+        for shards in self.shard_groups.values():
+            for group in shards:
+                seen.setdefault(id(group), group)
+        return list(seen.values())
+
+    def all_peers(self):
+        """Every b-peer across every operation and shard group."""
+        return [peer for group in self.all_groups() for peer in group.peers]
 
     def invoke(
         self,
@@ -90,6 +113,41 @@ class DeployedService:
             operation, arguments, timeout=timeout, budget=budget
         )
         return result
+
+
+def _shard_implementations(operation_impls, shards: int, operation: str):
+    """Normalise one operation's implementations into per-shard lists.
+
+    Unsharded: a flat list becomes ``[list]``.  Sharded: accept a factory
+    ``shard_index -> [implementations]`` or a list of ``shards`` lists;
+    a flat list is rejected because shard groups must not share backend
+    (and invocation-counter) instances.
+    """
+    if callable(operation_impls):
+        per_shard = [list(operation_impls(index)) for index in range(shards)]
+    else:
+        impls = list(operation_impls)
+        if shards == 1:
+            per_shard = [impls]
+        elif impls and all(
+            isinstance(item, (list, tuple)) for item in impls
+        ):
+            if len(impls) != shards:
+                raise ValueError(
+                    f"{operation}: got {len(impls)} implementation lists "
+                    f"for {shards} shards"
+                )
+            per_shard = [list(item) for item in impls]
+        else:
+            raise ValueError(
+                f"{operation}: a sharded deploy ({shards} shards) needs one "
+                "implementation list per shard — pass a factory "
+                "shard_index -> [implementations] or a list of lists"
+            )
+    for index, shard_impls in enumerate(per_shard):
+        if not shard_impls:
+            raise ValueError(f"{operation}: shard {index} has no implementations")
+    return per_shard
 
 
 class WhisperSystem:
@@ -176,6 +234,13 @@ class WhisperSystem:
         ``{operation_name: [implementations]}`` for multi-operation
         services, which get one b-peer group per operation.
 
+        With ``config.shards > 1`` each operation is deployed as N
+        federated shard groups (named ``<group>-s<i>``), each with its
+        own replication/election/journal; the implementations must then
+        come as one list *per shard* — either a factory
+        ``shard_index -> [implementations]`` or a list of ``shards``
+        lists — because shard groups may not share backend instances.
+
         ``config`` overrides the system-wide scenario for this service
         (dispatch policy, queue bound, proxy budgets, ...); legacy
         ``request_timeout=`` / ``max_attempts=`` keywords still work as a
@@ -186,36 +251,65 @@ class WhisperSystem:
             legacy,
             "deploy_service",
         )
+        if scenario.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {scenario.shards}")
         sws = SemanticWebService(definitions, self.ontology)
         if isinstance(implementations, dict):
             per_operation = dict(implementations)
             unknown = set(per_operation) - set(sws.operations())
             if unknown:
                 raise ValueError(f"implementations for unknown operations: {unknown}")
+        elif callable(implementations):
+            per_operation = {sws.operations()[0]: implementations}
         else:
             per_operation = {sws.operations()[0]: list(implementations)}
 
         groups: Dict[str, BPeerGroup] = {}
+        shard_groups: Dict[str, List[BPeerGroup]] = {}
+        read_only: List[str] = []
         for operation, operation_impls in per_operation.items():
             annotation = sws.annotation(operation)
             base_name = group_name or f"grp-{sws.name}"
             name = base_name if len(per_operation) == 1 else f"{base_name}-{operation}"
-            groups[operation] = deploy_bpeer_group(
-                self.network,
-                self.rendezvous,
-                group_name=name,
-                annotation=annotation,
-                implementations=operation_impls,
-                ontology_uri=self.ontology.uri,
-                heartbeat_interval=scenario.heartbeat_interval,
-                miss_threshold=scenario.miss_threshold,
-                load_sharing=scenario.load_sharing,
-                dispatch=scenario.dispatch,
-                queue_bound=scenario.queue_bound,
-                dedup_journal=scenario.dedup_journal,
-                journal_capacity=scenario.journal_capacity,
-                epoch_fencing=scenario.epoch_fencing,
+            per_shard = _shard_implementations(
+                operation_impls, scenario.shards, operation
             )
+            deployed_shards: List[BPeerGroup] = []
+            for shard_index, shard_impls in enumerate(per_shard):
+                deployed_shards.append(
+                    deploy_bpeer_group(
+                        self.network,
+                        self.rendezvous,
+                        group_name=(
+                            name
+                            if scenario.shards == 1
+                            else f"{name}-s{shard_index}"
+                        ),
+                        annotation=annotation,
+                        implementations=shard_impls,
+                        ontology_uri=self.ontology.uri,
+                        heartbeat_interval=scenario.heartbeat_interval,
+                        miss_threshold=scenario.miss_threshold,
+                        load_sharing=scenario.load_sharing,
+                        dispatch=scenario.dispatch,
+                        queue_bound=scenario.queue_bound,
+                        dedup_journal=scenario.dedup_journal,
+                        journal_capacity=scenario.journal_capacity,
+                        epoch_fencing=scenario.epoch_fencing,
+                        shard_index=(
+                            shard_index if scenario.shards > 1 else None
+                        ),
+                        shard_count=(
+                            scenario.shards if scenario.shards > 1 else None
+                        ),
+                    )
+                )
+            groups[operation] = deployed_shards[0]
+            shard_groups[operation] = deployed_shards
+            if all(
+                not impl.mutating for impls in per_shard for impl in impls
+            ):
+                read_only.append(operation)
 
         host_name = web_host or f"web-{sws.name}"
         web_node = self.network.add_host(host_name)
@@ -228,7 +322,10 @@ class WhisperSystem:
             max_attempts=scenario.max_attempts,
             deadline_budget=scenario.deadline_budget,
             epoch_fencing=scenario.epoch_fencing,
+            scatter_policy=scenario.scatter_policy,
+            virtual_nodes=scenario.virtual_nodes,
         )
+        proxy.read_only_operations.update(read_only)
         proxy.attach_to(self.rendezvous)
         proxy.publish_self(remote=False)
         web_service = WhisperWebService(web_node, sws, proxy)
@@ -239,6 +336,7 @@ class WhisperSystem:
             proxy=proxy,
             group=first_group,
             groups=groups,
+            shard_groups=shard_groups,
         )
         self.services[sws.name] = deployed
         return deployed
@@ -285,15 +383,24 @@ class WhisperSystem:
         )
         if scenario.replicas < 1:
             raise ValueError("need at least one replica")
-        implementations: List[ServiceImplementation] = []
-        master = student_database(scenario.students)
-        warehouse = build_warehouse(master)
-        for index in range(scenario.replicas):
-            if scenario.warehouse_every and index % scenario.warehouse_every == 1:
-                implementations.append(student_lookup_warehouse(warehouse))
-            else:
-                replica_db = student_database(scenario.students)
-                implementations.append(student_lookup_operational(replica_db))
+
+        def shard_implementations(shard_index: int) -> List[ServiceImplementation]:
+            implementations: List[ServiceImplementation] = []
+            master = student_database(scenario.students)
+            warehouse = build_warehouse(master)
+            for index in range(scenario.replicas):
+                if scenario.warehouse_every and index % scenario.warehouse_every == 1:
+                    implementations.append(student_lookup_warehouse(warehouse))
+                else:
+                    replica_db = student_database(scenario.students)
+                    implementations.append(student_lookup_operational(replica_db))
+            return implementations
+
+        implementations = (
+            shard_implementations(0)
+            if scenario.shards == 1
+            else shard_implementations
+        )
         return self.deploy_service(
             student_management_wsdl(),
             implementations,
@@ -350,25 +457,30 @@ class WhisperSystem:
         services = {}
         for name, deployed in self.services.items():
             groups = {}
-            for operation, group in deployed.groups.items():
-                coordinator = group.coordinator_peer()
-                replicas_qos = {
-                    peer.name: {
-                        "executed": peer.requests_executed,
-                        "mean_time": peer.qos_profile.snapshot().time,
-                        "reliability": peer.qos_profile.empirical_reliability,
+            for operation, shard_list in deployed.shard_groups.items():
+                sharded = len(shard_list) > 1
+                for shard_index, group in enumerate(shard_list):
+                    coordinator = group.coordinator_peer()
+                    replicas_qos = {
+                        peer.name: {
+                            "executed": peer.requests_executed,
+                            "mean_time": peer.qos_profile.snapshot().time,
+                            "reliability": peer.qos_profile.empirical_reliability,
+                        }
+                        for peer in group.peers
                     }
-                    for peer in group.peers
-                }
-                groups[operation] = {
-                    "group": group.name,
-                    "replicas": len(group.peers),
-                    "alive": len(group.alive_peers()),
-                    "coordinator": coordinator.name if coordinator else None,
-                    "requests_executed": group.total_requests_executed(),
-                    "requests_shed": group.total_requests_shed(),
-                    "replica_qos": replicas_qos,
-                }
+                    label = (
+                        f"{operation}[shard {shard_index}]" if sharded else operation
+                    )
+                    groups[label] = {
+                        "group": group.name,
+                        "replicas": len(group.peers),
+                        "alive": len(group.alive_peers()),
+                        "coordinator": coordinator.name if coordinator else None,
+                        "requests_executed": group.total_requests_executed(),
+                        "requests_shed": group.total_requests_shed(),
+                        "replica_qos": replicas_qos,
+                    }
             stats = deployed.proxy.stats
             services[name] = {
                 "address": deployed.address,
@@ -381,6 +493,10 @@ class WhisperSystem:
                     "rebinds": stats.rebinds,
                     "shed": stats.shed,
                     "retry_after_honored": stats.retry_after_honored,
+                    "shard_routed": stats.shard_routed,
+                    "shard_failovers": stats.shard_failovers,
+                    "scatter_calls": stats.scatter_calls,
+                    "scatter_partial": stats.scatter_partial,
                 },
             }
         return {

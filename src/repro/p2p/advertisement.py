@@ -294,17 +294,32 @@ class SemanticAdvertisement(Advertisement):
     qos_time: Optional[float] = None
     qos_cost: Optional[float] = None
     qos_reliability: Optional[float] = None
+    #: Semantic-sharding annotations: this group's position in a
+    #: federated shard set partitioning the service keyspace.  Both stay
+    #: ``None`` for single-group deployments so unsharded advertisements
+    #: (and their wire sizes) are byte-identical to the seed's.
+    shard_index: Optional[int] = None
+    shard_count: Optional[int] = None
 
     def key(self) -> str:
         return f"SemAdv:{self.group_id.urn}"
 
     def attributes(self) -> Dict[str, str]:
-        return {
+        attrs = {
             "Name": self.name,
             "GID": self.group_id.urn,
             "Action": self.action,
             "Ontology": self.ontology_uri,
         }
+        if self.shard_count is not None:
+            attrs["Shard"] = str(self.shard_index)
+            attrs["Shards"] = str(self.shard_count)
+        return attrs
+
+    @property
+    def sharded(self) -> bool:
+        """True when this group is one shard of a federated set."""
+        return self.shard_count is not None and self.shard_count > 1
 
     # Accessors named after the paper's listing (§3.2).
 
@@ -347,6 +362,10 @@ class SemanticAdvertisement(Advertisement):
             elements.append(
                 _text_element("QosReliability", repr(self.qos_reliability))
             )
+        if self.shard_index is not None:
+            elements.append(_text_element("ShardIndex", str(self.shard_index)))
+        if self.shard_count is not None:
+            elements.append(_text_element("ShardCount", str(self.shard_count)))
         return elements
 
     @classmethod
@@ -354,6 +373,10 @@ class SemanticAdvertisement(Advertisement):
         def _optional_float(tag: str) -> Optional[float]:
             text = root.findtext(tag)
             return float(text) if text is not None else None
+
+        def _optional_int(tag: str) -> Optional[int]:
+            text = root.findtext(tag)
+            return int(text) if text is not None else None
 
         return cls(
             group_id=PeerGroupId.from_urn(_required_text(root, "GID")),
@@ -366,4 +389,6 @@ class SemanticAdvertisement(Advertisement):
             qos_time=_optional_float("QosTime"),
             qos_cost=_optional_float("QosCost"),
             qos_reliability=_optional_float("QosReliability"),
+            shard_index=_optional_int("ShardIndex"),
+            shard_count=_optional_int("ShardCount"),
         )

@@ -25,11 +25,15 @@ class _Entry:
 class AdvertisementCache:
     """Expiring store of advertisements, queryable by type and attribute.
 
-    When handed a metrics registry, the cache emits
-    ``discovery.cache_hit`` per successful lookup and
-    ``discovery.cache_expired`` per entry purged past its lifetime, so
-    campaign reports can correlate stale-advertisement windows (e.g.
-    after a partition) with discovery misses and dedup journal misses.
+    When handed a metrics registry, the cache emits exactly one
+    ``discovery.cache_hit`` or ``discovery.cache_miss`` per lookup
+    (``get`` and ``query`` alike — a query that matches ten
+    advertisements is still *one* hit, and an empty result is a miss),
+    plus ``discovery.cache_expired`` per entry purged past its lifetime
+    and ``discovery.cache_flushed`` per live entry dropped by
+    ``clear()``.  Campaign reports use these to correlate
+    stale-advertisement windows (e.g. after a partition) with discovery
+    misses and dedup journal misses.
     """
 
     def __init__(self, clock: Callable[[], float], metrics: Optional[Any] = None):
@@ -64,10 +68,12 @@ class AdvertisementCache:
     def get(self, key: str) -> Optional[Advertisement]:
         entry = self._entries.get(key)
         if entry is None:
+            self._inc("discovery.cache_miss")
             return None
         if entry.expires_at <= self._clock():
             del self._entries[key]
             self._inc("discovery.cache_expired")
+            self._inc("discovery.cache_miss")
             return None
         self._inc("discovery.cache_hit")
         return entry.advertisement
@@ -98,7 +104,10 @@ class AdvertisementCache:
                     continue
             results.append(advertisement)
         results.sort(key=lambda adv: adv.key())
-        self._inc("discovery.cache_hit", len(results))
+        if results:
+            self._inc("discovery.cache_hit")
+        else:
+            self._inc("discovery.cache_miss")
         return results
 
     def keys(self) -> List[str]:
@@ -106,6 +115,17 @@ class AdvertisementCache:
         return sorted(self._entries)
 
     def clear(self) -> None:
+        """Drop everything, keeping the expired/flushed accounting honest.
+
+        Entries already past their lifetime count toward
+        ``discovery.cache_expired`` (they would have been purged on the
+        next lookup anyway); still-live entries count toward
+        ``discovery.cache_flushed``.
+        """
+        now = self._clock()
+        expired = sum(1 for entry in self._entries.values() if entry.expires_at <= now)
+        self._inc("discovery.cache_expired", expired)
+        self._inc("discovery.cache_flushed", len(self._entries) - expired)
         self._entries.clear()
 
     def _purge(self) -> None:

@@ -19,8 +19,11 @@ def _service(epoch):
         implementation=SimpleNamespace(backend=None),
     )
     peer._member_load = {}
+    group = SimpleNamespace(name="g0", peers=[peer])
     return SimpleNamespace(
-        group=SimpleNamespace(peers=[peer]),
+        group=group,
+        all_peers=lambda: [peer],
+        all_groups=lambda: [group],
         proxy=SimpleNamespace(result_epoch_log=[]),
     )
 

@@ -21,21 +21,59 @@ def _peers(count):
 
 
 class TestRoundRobin:
-    def test_cycles_in_order(self):
+    def test_cycles_over_sorted_identity(self):
         members = _peers(3)
+        ordered = sorted(members, key=str)
         policy = RoundRobinDispatch()
         picks = [policy.choose(members, {}) for _ in range(6)]
-        assert picks == members + members
+        assert picks == ordered + ordered
+
+    def test_rotation_independent_of_view_order(self):
+        members = _peers(3)
+        ordered = sorted(members, key=str)
+        policy = RoundRobinDispatch()
+        # Present the view in a different order each call: rotation is
+        # over member identity, not list position.
+        views = [members, list(reversed(members)), members[1:] + members[:1]]
+        picks = [policy.choose(view, {}) for view in views]
+        assert picks == ordered
 
     def test_empty_view_returns_none(self):
         assert RoundRobinDispatch().choose([], {}) is None
 
-    def test_cursor_survives_view_growth(self):
+    def test_no_skip_or_double_serve_on_view_growth(self):
         members = _peers(2)
+        ordered = sorted(members, key=str)
         policy = RoundRobinDispatch()
-        policy.choose(members, {})
-        grown = members + _peers(3)[2:]
-        assert policy.choose(grown, {}) == grown[1]
+        assert policy.choose(members, {}) == ordered[0]
+        grown = sorted(members + _peers(3)[2:], key=str)
+        # The next pick is the next identity after the last-served one in
+        # the grown view — nobody gets skipped or served twice.
+        expected = next(m for m in grown if str(m) > str(ordered[0]))
+        assert policy.choose(grown, {}) == expected
+
+    def test_no_double_serve_when_member_departs(self):
+        """Shrinking the view mid-rotation must not re-serve a member
+        that was already served this cycle (the old positional-cursor
+        bug)."""
+        members = sorted(_peers(3), key=str)
+        policy = RoundRobinDispatch()
+        first = policy.choose(members, {})
+        assert first == members[0]
+        second = policy.choose(members, {})
+        assert second == members[1]
+        # members[1] departs; the rotation continues at members[2], it
+        # does NOT wrap back and double-serve members[0].
+        shrunk = [members[0], members[2]]
+        assert policy.choose(shrunk, {}) == members[2]
+        assert policy.choose(shrunk, {}) == members[0]
+
+    def test_wraps_after_last_member(self):
+        members = sorted(_peers(2), key=str)
+        policy = RoundRobinDispatch()
+        assert policy.choose(members, {}) == members[0]
+        assert policy.choose(members, {}) == members[1]
+        assert policy.choose(members, {}) == members[0]
 
 
 class TestLeastOutstanding:
@@ -99,6 +137,29 @@ class TestQosWeighted:
 
     def test_empty_view_returns_none(self):
         assert QosWeightedDispatch().choose([], {}) is None
+
+    def test_default_prior_is_immutable_and_shared_safely(self):
+        import dataclasses
+
+        policy = QosWeightedDispatch()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            policy.default_qos.time = 99.0  # type: ignore[misc]
+        with pytest.raises(AttributeError):
+            policy.default_qos = QosMetrics(time=1.0, cost=1.0, reliability=1.0)
+        # A fresh instance still sees the pristine class default.
+        assert QosWeightedDispatch().default_qos == QosWeightedDispatch.DEFAULT_QOS
+
+    def test_default_prior_constructor_override(self):
+        prior = QosMetrics(time=9.0, cost=1.0, reliability=1.0)
+        policy = QosWeightedDispatch(default_qos=prior)
+        assert policy.default_qos is prior
+        members = _peers(2)
+        load = {
+            members[0]: MemberLoad(qos=QosMetrics(time=5.0, cost=1.0, reliability=1.0)),
+        }
+        # With a *worse* prior, the reported member wins (inverse of
+        # test_unreported_member_uses_default_prior).
+        assert policy.choose(members, load) == members[0]
 
 
 class TestFactory:

@@ -102,3 +102,64 @@ def test_round_robin_skips_departed_members(size):
     picks = [policy.choose(survivors, load) for _ in range(3 * len(survivors))]
     assert all(pick in survivors for pick in picks)
     assert set(picks) == set(survivors)
+
+
+@given(
+    actions=st.lists(
+        st.one_of(
+            st.just(("pick",)),
+            st.tuples(st.just("add"), st.integers(min_value=0, max_value=7)),
+            st.tuples(st.just("remove"), st.integers(min_value=0, max_value=7)),
+        ),
+        min_size=1,
+        max_size=80,
+    )
+)
+@settings(max_examples=150, deadline=None)
+def test_round_robin_fair_under_view_churn(actions):
+    """Between two consecutive serves of the same member, every member
+    continuously present in the view must have been served.
+
+    This is the identity-rotation guarantee the positional cursor broke:
+    under add/remove churn the old implementation could double-serve a
+    member while a continuously-live sibling starved.
+    """
+    policy = RoundRobinDispatch()
+    view = {MEMBERS[0]}
+    # For each member: the set of members served since *it* was last
+    # served, plus everyone present at its last serve.  A repeat serve of
+    # `m` is only fair if every member continuously present since m's
+    # last serve got a turn in between.
+    present_since_serve = {}  # member -> set of members continuously present
+    served_since = {}  # member -> set of members served since its last serve
+
+    for action in actions:
+        if action[0] == "add":
+            candidate = MEMBERS[action[1]]
+            if candidate not in view:
+                view.add(candidate)
+                # A (re)joining member is not "continuously present" for
+                # anyone's pending cycle.
+                for present in present_since_serve.values():
+                    present.discard(candidate)
+        elif action[0] == "remove":
+            candidate = MEMBERS[action[1]]
+            if len(view) > 1 and candidate in view:
+                view.discard(candidate)
+                for present in present_since_serve.values():
+                    present.discard(candidate)
+        else:
+            members = sorted(view, key=str)
+            pick = policy.choose(members, {})
+            assert pick in view
+            if pick in served_since:
+                stragglers = present_since_serve[pick] - served_since[pick] - {pick}
+                assert not stragglers, (
+                    f"{pick} served twice while continuously-present "
+                    f"members {sorted(map(str, stragglers))} starved"
+                )
+            for member, served in served_since.items():
+                if member is not pick:
+                    served.add(pick)
+            served_since[pick] = set()
+            present_since_serve[pick] = set(view)

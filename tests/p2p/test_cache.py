@@ -141,20 +141,48 @@ class TestMetrics:
         assert self._counter(metrics, "discovery.cache_expired") == 1
         assert self._counter(metrics, "discovery.cache_hit") == 1
 
-    def test_query_counts_live_matches_and_purges(self, cache, clock, metrics):
+    def test_query_counts_one_hit_per_lookup_and_purges(self, cache, clock, metrics):
+        """One query is one lookup: a single hit no matter how many
+        advertisements match (parity with ``get``)."""
         cache.publish(_peer_adv("p1"), lifetime=5.0)
         cache.publish(_peer_adv("p2"), lifetime=50.0)
         cache.publish(_peer_adv("p3"), lifetime=50.0)
         clock["now"] = 10.0
         results = cache.query(PeerAdvertisement)
         assert len(results) == 2
-        assert self._counter(metrics, "discovery.cache_hit") == 2
+        assert self._counter(metrics, "discovery.cache_hit") == 1
         assert self._counter(metrics, "discovery.cache_expired") == 1
 
-    def test_get_miss_emits_nothing(self, cache, metrics):
+    def test_query_with_no_matches_counts_a_miss(self, cache, metrics):
+        cache.publish(_peer_adv("p1"))
+        assert cache.query(PeerAdvertisement, "Name", "ghost") == []
+        assert self._counter(metrics, "discovery.cache_hit") == 0
+        assert self._counter(metrics, "discovery.cache_miss") == 1
+
+    def test_get_miss_counts_a_miss(self, cache, metrics):
         assert cache.get("ghost") is None
         assert self._counter(metrics, "discovery.cache_hit") == 0
+        assert self._counter(metrics, "discovery.cache_miss") == 1
         assert self._counter(metrics, "discovery.cache_expired") == 0
+
+    def test_get_expired_counts_expired_and_miss(self, cache, clock, metrics):
+        advertisement = _peer_adv("p1")
+        cache.publish(advertisement, lifetime=5.0)
+        clock["now"] = 10.0
+        assert cache.get(advertisement.key()) is None
+        assert self._counter(metrics, "discovery.cache_expired") == 1
+        assert self._counter(metrics, "discovery.cache_miss") == 1
+        assert self._counter(metrics, "discovery.cache_hit") == 0
+
+    def test_clear_accounts_expired_and_flushed(self, cache, clock, metrics):
+        cache.publish(_peer_adv("p1"), lifetime=5.0)
+        cache.publish(_peer_adv("p2"), lifetime=50.0)
+        cache.publish(_peer_adv("p3"), lifetime=50.0)
+        clock["now"] = 10.0
+        cache.clear()
+        assert len(cache) == 0
+        assert self._counter(metrics, "discovery.cache_expired") == 1
+        assert self._counter(metrics, "discovery.cache_flushed") == 2
 
     def test_cache_without_metrics_still_works(self, clock):
         bare = AdvertisementCache(clock=lambda: clock["now"])
