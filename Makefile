@@ -1,6 +1,6 @@
 # Developer conveniences for the Whisper reproduction.
 
-.PHONY: install test bench examples figures overload exactly-once check check-self-test shard shard-smoke perf perf-smoke all clean
+.PHONY: install test bench examples figures overload exactly-once check check-self-test shard shard-smoke perf perf-smoke wan wan-smoke all clean
 
 install:
 	python setup.py develop
@@ -20,6 +20,7 @@ examples:
 	python examples/b2b_supply_chain.py
 	python examples/workflow_process.py
 	python examples/operations.py
+	python examples/multi_region.py
 
 figures:
 	python examples/figure4.py
@@ -58,6 +59,19 @@ perf:
 perf-smoke:
 	python -m repro perf --smoke --out bench-smoke.json \
 		--check BENCH_simnet.json --tolerance 0.25
+
+# Multi-region WAN benchmark: gossip convergence vs the O(log N) bound,
+# staleness vs fanout, gossip-vs-flood message economy, nearest-region
+# latency, and the single-region Figure-4 byte-identity guard.
+# Regenerates the committed BENCH_wan.json record.
+wan:
+	python -m repro wan --out BENCH_wan.json
+
+# The CI tier: reduced sweeps, same assertions (exit 1 on any failure),
+# plus a region-partition schedule-exploration pass.
+wan-smoke:
+	python -m repro wan --smoke --out bench-wan-smoke.json
+	python -m repro check --regions 2 --seeds 1 --schedules 5 --timeout 300
 
 outputs:
 	pytest tests/ 2>&1 | tee test_output.txt

@@ -37,6 +37,7 @@ from ..backend.services import student_enrollment
 from ..core.config import ScenarioConfig
 from ..core.errors import WhisperError
 from ..core.system import WhisperSystem
+from ..core.topology import Topology
 from ..simnet.events import Interrupt
 from ..soap.fault import SoapFault
 from ..wsdl.samples import student_admin_wsdl
@@ -72,6 +73,8 @@ class CheckScenario:
     power comes from how many orderings it visits, not from how big any
     one of them is.  ``load_sharing`` stays off so the queue-bound audit
     sees the coordinator-only admission ledger the bound governs.
+    ``shards`` and ``regions`` are mutually exclusive axes (the system
+    does not support sharded multi-region deployments).
     """
 
     seed: int = 0
@@ -93,6 +96,15 @@ class CheckScenario:
     #: Federated shard groups for the enroll service; 1 keeps the
     #: deployment (and every existing repro file's digest) unchanged.
     shards: int = 1
+    #: WAN regions the deployment spans; 1 keeps the flat single LAN.
+    #: With more, the group is *span*-placed — one election domain whose
+    #: replicas straddle the WAN — and schedules gain whole-region
+    #: isolation ops, so election safety and exactly-once are audited
+    #: across WAN splits and heals.
+    regions: int = 1
+
+    def region_names(self) -> List[str]:
+        return [f"r{index}" for index in range(self.regions)]
 
     def replace(self, **changes: Any) -> "CheckScenario":
         return dataclasses.replace(self, **changes)
@@ -154,7 +166,17 @@ def _build_system(scenario: CheckScenario):
     same workload runs against federated shard groups — each a full
     replica set with its own stores — which is what lets a schedule
     crash one whole shard group and audit that exactly-once and election
-    safety survive the ring handoff."""
+    safety survive the ring handoff.  With ``regions > 1`` the group is
+    instead *span*-placed over a WAN mesh (one election domain, replicas
+    round-robin across regions), so region-isolation schedules audit the
+    same invariants across WAN splits and heals."""
+    if scenario.shards > 1 and scenario.regions > 1:
+        raise ValueError("shards and regions cannot both exceed 1")
+    topology = (
+        Topology.mesh(scenario.region_names(), placement="span")
+        if scenario.regions > 1
+        else None
+    )
     config = ScenarioConfig(
         seed=scenario.seed,
         settle=scenario.settle,
@@ -168,6 +190,7 @@ def _build_system(scenario: CheckScenario):
         request_timeout=scenario.probe_timeout,
         deadline_budget=scenario.probe_budget,
         shards=scenario.shards,
+        topology=topology,
     )
     system = WhisperSystem(config)
     if scenario.shards > 1:
@@ -557,6 +580,11 @@ class ScheduleExplorer:
                     decision_horizon=baseline.decisions,
                     max_ops=self.max_ops,
                     label=f"seed{seed}/{index}",
+                    regions=(
+                        scenario.region_names()
+                        if scenario.regions > 1
+                        else ()
+                    ),
                 )
                 result = run_schedule(scenario, schedule)
                 report.runs += 1

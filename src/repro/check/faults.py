@@ -110,6 +110,12 @@ class DecisionFaultInjector:
         if op.action == "drop":
             self._record(op, victim="<message>")
             return "drop"
+        if op.action == "partition-region":
+            self.system.failures.partition_region_at(
+                now, op.target, duration=op.duration
+            )
+            self._record(op, victim=f"region:{op.target}")
+            return None
         if op.action in ("crash", "partition"):
             victim = op.target
         else:

@@ -12,11 +12,13 @@
     python -m repro shard [--shards 1,2,4] [--replicas 2] [--rate-multiple 3.0]
                           [--skip-rebalance] [--json]
     python -m repro check [--seeds 5] [--schedules 50] [--timeout 300]
-                          [--self-test] [--replay FILE] [--out FILE] [--json]
+                          [--regions 2] [--self-test] [--replay FILE]
+                          [--out FILE] [--json]
     python -m repro trace [--samples 20] [--crash] [--last 5] [--json]
     python -m repro metrics [--samples 50] [--crash] [--json | --csv]
     python -m repro perf [--scale smoke|full|both] [--out BENCH_simnet.json]
                          [--check RECORD] [--tolerance 0.25] [--json]
+    python -m repro wan [--scale smoke|full] [--out BENCH_wan.json] [--json]
 
 Each subcommand prints the same tables the corresponding benchmark
 asserts on (see EXPERIMENTS.md).  Common flags — ``--seed``,
@@ -401,7 +403,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
         return 0 if outcome["ok"] else 2
 
     explorer = ScheduleExplorer(
-        CheckScenario(shards=args.shards),
+        CheckScenario(shards=args.shards, regions=args.regions),
         seeds=range(args.seed, args.seed + args.seeds),
         schedules_per_seed=args.schedules,
         max_ops=args.max_ops,
@@ -525,6 +527,27 @@ def _cmd_perf(args: argparse.Namespace) -> int:
             return 1
         print(f"perf check vs {args.check}: ok (tolerance {args.tolerance:.0%})")
     return 0
+
+
+def _cmd_wan(args: argparse.Namespace) -> int:
+    from .bench import wan as wan_module
+
+    record = wan_module.run_wan(
+        scale="smoke" if args.smoke else args.scale,
+        seed=args.seed,
+        progress=None if args.json else print,
+    )
+    with open(args.out, "w") as handle:
+        handle.write(json_module.dumps(record, indent=2) + "\n")
+    if args.json:
+        print(json_module.dumps(record, indent=2))
+    else:
+        print(wan_module.format_record(record))
+        print(f"wrote {args.out}")
+    failures = wan_module.check_record(record)
+    for failure in failures:
+        print(failure)
+    return 0 if not failures else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -697,6 +720,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="federated shard groups for the explored enroll service "
              "(cross-shard schedules audit ring handoff safety)",
     )
+    check.add_argument(
+        "--regions", type=int, default=1,
+        help="WAN regions the explored group spans (region-isolation "
+             "schedules audit election safety across WAN splits)",
+    )
     check.set_defaults(func=_cmd_check)
 
     trace = subparsers.add_parser(
@@ -757,6 +785,25 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--worker-scale", choices=("smoke", "full"),
                       default="smoke", help=argparse.SUPPRESS)
     perf.set_defaults(func=_cmd_perf)
+
+    wan = subparsers.add_parser(
+        "wan",
+        parents=[seed_parent, json_parent],
+        help="multi-region gossip: convergence, staleness, message economy",
+    )
+    wan.add_argument(
+        "--scale", choices=("smoke", "full"), default="full",
+        help="sweep size; smoke is the CI tier",
+    )
+    wan.add_argument(
+        "--smoke", action="store_true",
+        help="shorthand for --scale smoke (the CI tier)",
+    )
+    wan.add_argument(
+        "--out", default="BENCH_wan.json",
+        help="where to write the WAN record",
+    )
+    wan.set_defaults(func=_cmd_wan)
 
     return parser
 

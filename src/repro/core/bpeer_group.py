@@ -10,7 +10,7 @@ first Bully election.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..backend.services import ServiceImplementation
 from ..p2p.advertisement import SemanticAdvertisement
@@ -32,15 +32,17 @@ def semantic_advertisement_for(
     qos: Optional["QosMetrics"] = None,
     shard_index: Optional[int] = None,
     shard_count: Optional[int] = None,
+    region: Optional[str] = None,
 ) -> SemanticAdvertisement:
     """Build the group's semantic advertisement from a WSDL-S annotation.
 
     ``qos`` optionally attaches the §2.4 QoS annotation (advertised
     expected time / cost / reliability) that QoS-aware proxies use as a
     selection prior.  ``shard_index``/``shard_count`` mark the group as
-    one shard of a federated set partitioning the service keyspace; both
-    stay ``None`` for single-group deployments so the advertisement wire
-    format is unchanged.
+    one shard of a federated set partitioning the service keyspace;
+    ``region`` marks its home region in multi-region topologies.  All
+    stay ``None`` for single-group single-LAN deployments so the
+    advertisement wire format is unchanged.
     """
     return SemanticAdvertisement(
         group_id=PeerGroupId.from_name(group_name),
@@ -55,6 +57,7 @@ def semantic_advertisement_for(
         qos_reliability=qos.reliability if qos is not None else None,
         shard_index=shard_index,
         shard_count=shard_count,
+        region=region,
     )
 
 
@@ -116,6 +119,9 @@ def deploy_bpeer_group(
     advertise_qos: Optional[QosMetrics] = None,
     shard_index: Optional[int] = None,
     shard_count: Optional[int] = None,
+    region: Optional[str] = None,
+    host_regions: Optional[Sequence[str]] = None,
+    rendezvous_by_region: Optional[Dict[str, Peer]] = None,
 ) -> BPeerGroup:
     """Place one b-peer per implementation and wire the group together.
 
@@ -123,6 +129,13 @@ def deploy_bpeer_group(
     paper's one-peer-per-machine testbed.  Every b-peer publishes the
     group's semantic advertisement into the rendezvous' SRDI index so that
     SWS-proxies anywhere can discover the group.
+
+    Multi-region placement: ``region`` puts every host (and the
+    advertisement's home) in one region; ``host_regions`` instead spreads
+    hosts round-robin over the given regions (a group *spanning* the WAN,
+    one election domain).  ``rendezvous_by_region`` maps each region to
+    its rendezvous peer — a b-peer always attaches to the rendezvous of
+    the region it lands in (falling back to ``rendezvous``).
     """
     if not implementations:
         raise ValueError("a b-peer group needs at least one implementation")
@@ -135,6 +148,7 @@ def deploy_bpeer_group(
         qos=advertise_qos,
         shard_index=shard_index,
         shard_count=shard_count,
+        region=region,
     )
     group = BPeerGroup(
         group_id=advertisement.group_id,
@@ -142,7 +156,13 @@ def deploy_bpeer_group(
         advertisement=advertisement,
     )
     for index, implementation in enumerate(implementations):
-        node = network.add_host(f"{prefix}{index}")
+        host_region = region
+        if host_regions:
+            host_region = host_regions[index % len(host_regions)]
+        node = network.add_host(f"{prefix}{index}", region=host_region)
+        home_rendezvous = rendezvous
+        if rendezvous_by_region and host_region in rendezvous_by_region:
+            home_rendezvous = rendezvous_by_region[host_region]
         bpeer = BPeer(
             node,
             group_id=group.group_id,
@@ -157,7 +177,7 @@ def deploy_bpeer_group(
             journal_capacity=journal_capacity,
             epoch_fencing=epoch_fencing,
         )
-        bpeer.start(rendezvous)
+        bpeer.start(home_rendezvous)
         # Every replica keeps the group advertisement alive (idempotent in
         # the SRDI index), so it survives any single publisher's death.
         bpeer.keep_published(advertisement, remote=advertise_remote)

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Optional, Union
 
 from ..ontology.match import DegreeOfMatch
+from .topology import Topology
 
 __all__ = ["ScenarioConfig"]
 
@@ -35,6 +36,12 @@ class ScenarioConfig:
     record_trace_details: bool = False
     #: Request-scoped tracing + metrics (near-zero-cost to disable).
     observability: bool = True
+    #: The network shape: regions, WAN links, gossip tuning (see
+    #: :class:`~repro.core.topology.Topology`).  ``None`` keeps the
+    #: paper's flat single-LAN testbed, byte-identical to the seed —
+    #: equivalent to ``Topology.single_region()`` but without region
+    #: bookkeeping anywhere on the hot path.
+    topology: Optional[Topology] = None
     #: Fraction of requests that get a full span tree (systematic
     #: sampling, deterministic).  1.0 traces everything (the default);
     #: lower rates keep the request counters exact but skip per-request

@@ -87,6 +87,13 @@ class ProxyStats:
     #: a sent mutating request stays pinned to its home group so dedup
     #: journals never need to span groups).
     shard_failovers: int = 0
+    #: Bind choices where nearest-region preference narrowed the tie
+    #: (multi-region topologies only).
+    region_preferred: int = 0
+    #: Invocations failed over to another region's group after the home
+    #: region stopped answering (same sticky at-most-once rule as shard
+    #: failovers: read legs and never-sent requests only).
+    region_failovers: int = 0
     #: Cross-shard scatter-gather reads issued.
     scatter_calls: int = 0
     #: Scatters that completed degraded (some shard legs failed but the
@@ -158,6 +165,8 @@ class SwsProxy(Peer):
         scatter_policy: str = "partial",
         virtual_nodes: int = 64,
         shard_suspect_interval: float = 10.0,
+        home_region: Optional[str] = None,
+        region_count: int = 1,
         name: Optional[str] = None,
     ):
         super().__init__(node, name=name or f"proxy:{sws.name}")
@@ -188,6 +197,17 @@ class SwsProxy(Peer):
         #: How long a non-answering shard group's ring segment is served
         #: by its clockwise successors before being retried.
         self.shard_suspect_interval = shard_suspect_interval
+        #: Region this proxy lives in (multi-region topologies): among
+        #: equally good semantic matches it binds to a group advertised
+        #: from its own region, and fails over to other regions' groups
+        #: when the home region stops answering.  ``None`` (single-region
+        #: deployments) disables both — behaviour identical to the seed.
+        self.home_region = home_region
+        #: How many regions replicate each group (region-replicated
+        #: topologies): discovery keeps querying until it has seen one
+        #: advertisement per region, so region preference and failover
+        #: have the full candidate set to work with.
+        self.region_count = max(1, region_count)
         #: Operations whose every implementation is side-effect free
         #: (wired at deploy time).  Read legs may fail over to a ring
         #: successor even after a send; anything not listed here is
@@ -242,7 +262,11 @@ class SwsProxy(Peer):
             return self.group_matcher.find_all(annotation, local)
 
         matches = scan_local()
-        if matches and _shard_set_complete(matches):
+        if (
+            matches
+            and _shard_set_complete(matches)
+            and self._region_set_complete(matches)
+        ):
             return matches
         self.stats.remote_discoveries += 1
         self.obs.metrics.inc("proxy.remote_discoveries")
@@ -251,13 +275,14 @@ class SwsProxy(Peer):
             timeout = deadline.clamp(self.env.now, timeout)
         # Fast path: query by the exact action concept (the rendezvous
         # answers with up to ``threshold`` matching SRDI documents in one
-        # message — 1 suffices unless a known shard set needs more).
+        # message — 1 suffices unless a known shard set or region
+        # replica set needs more).
         remote = yield from self.discovery.get_remote_advertisements(
             SemanticAdvertisement,
             attribute="Action",
             value=annotation.action,
             timeout=timeout,
-            threshold=_shard_threshold(matches),
+            threshold=self._discovery_threshold(matches),
         )
         # Remote results were published into the local cache; re-scan so
         # previously known and freshly discovered advertisements merge.
@@ -265,10 +290,12 @@ class SwsProxy(Peer):
             annotation, remote
         )
         if matches:
-            if _shard_set_complete(matches):
+            if _shard_set_complete(matches) and self._region_set_complete(
+                matches
+            ):
                 return matches
-            # The first answer revealed a shard set we only partially
-            # know: one directed re-query for the full set.
+            # The first answer revealed a shard or region set we only
+            # partially know: one directed re-query for the full set.
             if deadline is not None:
                 timeout = deadline.clamp(self.env.now, self.discovery_timeout)
             yield from self.discovery.get_remote_advertisements(
@@ -276,7 +303,7 @@ class SwsProxy(Peer):
                 attribute="Action",
                 value=annotation.action,
                 timeout=timeout,
-                threshold=_shard_threshold(matches),
+                threshold=self._discovery_threshold(matches),
             )
             return scan_local()
         # Slow path: groups advertising an *equivalent or related* action
@@ -289,12 +316,41 @@ class SwsProxy(Peer):
         )
         return self.group_matcher.find_all(annotation, remote)
 
+    def _region_set_complete(self, matches: List[GroupMatch]) -> bool:
+        """True once matches cover every region's replica of the group.
+
+        Single-region proxies (``region_count == 1``) are trivially
+        complete, so discovery behaves exactly as before the multi-region
+        extension.
+        """
+        if self.region_count <= 1:
+            return True
+        regions = {
+            m.advertisement.region
+            for m in matches
+            if m.advertisement.region is not None
+        }
+        return len(regions) >= self.region_count
+
+    def _discovery_threshold(self, matches: List[GroupMatch]) -> int:
+        """Remote-query threshold covering shard and region sets (min 1)."""
+        return max(_shard_threshold(matches), self.region_count)
+
     def _choose_group(self, matches: List[GroupMatch]) -> GroupMatch:
-        """Among equally good semantic matches, prefer the best QoS (§2.4)."""
+        """Among equally good semantic matches, prefer nearest region, then
+        best QoS (§2.4)."""
         if len(matches) == 1:
             return matches[0]
         best_degree = matches[0].degree
         tied = [m for m in matches if m.degree == best_degree]
+        if self.home_region is not None and len(tied) > 1:
+            home = [
+                m for m in tied if m.advertisement.region == self.home_region
+            ]
+            if home and len(home) < len(tied):
+                self.stats.region_preferred += 1
+                self.obs.metrics.inc("proxy.region_preferred")
+                tied = home
         if len(tied) == 1:
             return tied[0]
         candidates = {
@@ -500,6 +556,17 @@ class SwsProxy(Peer):
             self.obs.metrics.inc("proxy.shard_routed")
         else:
             match = self._choose_group(matches)
+        region_alternates: List[GroupMatch] = []
+        if self.home_region is not None and router is None:
+            # Other regions' groups for the same semantics — the
+            # cross-region failover ladder, in match order (best first,
+            # which find_peer_group_adv already guarantees).
+            region_alternates = [
+                m
+                for m in matches
+                if m.advertisement.region is not None
+                and m.advertisement.group_id != match.advertisement.group_id
+            ]
         result = yield from self._invoke_attempts(
             operation,
             arguments,
@@ -512,6 +579,7 @@ class SwsProxy(Peer):
             router=router,
             routing_key=routing_key,
             match_by_name=match_by_name,
+            region_alternates=region_alternates,
         )
         return result
 
@@ -553,6 +621,7 @@ class SwsProxy(Peer):
         router: Optional[ShardRouter] = None,
         routing_key: Optional[str] = None,
         match_by_name: Optional[Dict[str, GroupMatch]] = None,
+        region_alternates: Optional[List[GroupMatch]] = None,
     ) -> Generator:
         """The bind/send/retry loop against one (possibly rerouting) group.
 
@@ -624,6 +693,28 @@ class SwsProxy(Peer):
             self.obs.metrics.inc("proxy.shard_failovers")
             return True
 
+        def try_region_failover() -> bool:
+            """Rebind to the next region's group, if safe.
+
+            The sticky rule is the shard handoff's: a mutating request
+            that has been sent stays pinned to its group (its invocation
+            id may live in that journal); reads and never-sent requests
+            climb the ladder.  Epoch fencing continues per group — each
+            region's group has its own election domain and binding.
+            """
+            nonlocal advertisement, group_id, profile
+            if not region_alternates:
+                return False
+            if sent and operation not in self.read_only_operations:
+                return False
+            successor = region_alternates.pop(0)
+            advertisement = successor.advertisement
+            group_id = advertisement.group_id
+            profile = self._profile_for(advertisement.key(), advertisement)
+            self.stats.region_failovers += 1
+            self.obs.metrics.inc("proxy.region_failovers")
+            return True
+
         while True:
             if attempt >= self.max_attempts:
                 profile.record_failure()
@@ -674,6 +765,8 @@ class SwsProxy(Peer):
                     enter_recovery("no-coordinator")
                     if try_reroute():
                         continue  # ring successor takes the segment now
+                    if try_region_failover():
+                        continue  # another region's group takes the call
                     # Group may be mid-election: back off and retry.
                     yield from backoff()
                     continue
@@ -696,7 +789,8 @@ class SwsProxy(Peer):
                 self.drop_binding(group_id)
                 failures += 1
                 enter_recovery("timeout")
-                try_reroute()
+                if not try_reroute():
+                    try_region_failover()
                 continue
             if reply.kind == "result":
                 if not reply.deduped and self._result_is_stale(group_id, reply):
@@ -803,9 +897,15 @@ class SwsProxy(Peer):
                     yield from backoff()
                 continue
             if reply.kind == "cannot-serve":
-                # Every replica's backend is down: a genuine application
-                # outage that redundancy cannot mask.
+                # Every replica's backend is down.  Another region's group
+                # has independent backends, so the failover ladder applies
+                # (read legs only: the request was sent); otherwise it is
+                # a genuine application outage redundancy cannot mask.
                 invoke_span.finish(self.env.now, outcome="cannot-serve")
+                if try_region_failover():
+                    failures += 1
+                    enter_recovery("cannot-serve")
+                    continue
                 self.stats.faults += 1
                 self.obs.metrics.inc("proxy.faults")
                 profile.record_failure()

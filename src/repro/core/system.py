@@ -23,9 +23,11 @@ from ..ontology.domains import b2b_ontology
 from ..ontology.match import ConceptMatcher, DegreeOfMatch
 from ..ontology.ontology import Ontology
 from ..ontology.reasoner import Reasoner
+from ..p2p.gossip import GossipService
 from ..p2p.peer import Peer
 from ..simnet.environment import Environment
 from ..simnet.failure import FailureInjector
+from ..simnet.latency import parse_latency_spec
 from ..simnet.network import Network
 from ..simnet.node import Node
 from ..simnet.rng import RngRegistry
@@ -36,6 +38,7 @@ from ..wsdl.samples import student_management_wsdl
 from .bpeer_group import BPeerGroup, deploy_bpeer_group
 from .config import ScenarioConfig
 from .proxy import SwsProxy
+from .topology import Topology
 from .result import InvokeResult
 from .sws import SemanticWebService
 from .webservice import PlainWebService, WhisperWebService
@@ -61,6 +64,10 @@ class DeployedService:
     group: BPeerGroup
     groups: Optional[Dict[str, BPeerGroup]] = None
     shard_groups: Optional[Dict[str, List[BPeerGroup]]] = None
+    #: Replicated multi-region deployments: per operation, the group
+    #: serving each region (``groups``/``group`` then hold the home
+    #: region's).  ``None`` for single-region and span placements.
+    region_groups: Optional[Dict[str, Dict[str, BPeerGroup]]] = None
 
     def __post_init__(self):
         if self.groups is None:
@@ -86,11 +93,19 @@ class DeployedService:
     def shard_groups_for(self, operation: str) -> List[BPeerGroup]:
         return self.shard_groups[operation]
 
+    def region_group_for(self, operation: str, region: str) -> BPeerGroup:
+        if not self.region_groups or operation not in self.region_groups:
+            raise KeyError(f"{operation} has no per-region groups")
+        return self.region_groups[operation][region]
+
     def all_groups(self) -> List[BPeerGroup]:
         """Every distinct b-peer group backing this service."""
         seen: Dict[int, BPeerGroup] = {}
         for shards in self.shard_groups.values():
             for group in shards:
+                seen.setdefault(id(group), group)
+        for per_region in (self.region_groups or {}).values():
+            for group in per_region.values():
                 seen.setdefault(id(group), group)
         return list(seen.values())
 
@@ -115,13 +130,15 @@ class DeployedService:
         return result
 
 
-def _shard_implementations(operation_impls, shards: int, operation: str):
+def _shard_implementations(operation_impls, shards: int, operation: str, what: str = "shard"):
     """Normalise one operation's implementations into per-shard lists.
 
     Unsharded: a flat list becomes ``[list]``.  Sharded: accept a factory
     ``shard_index -> [implementations]`` or a list of ``shards`` lists;
     a flat list is rejected because shard groups must not share backend
-    (and invocation-counter) instances.
+    (and invocation-counter) instances.  Region-replicated deployments
+    reuse the same normalisation with ``what="region"`` (one independent
+    implementation list per region, factory index = region index).
     """
     if callable(operation_impls):
         per_shard = [list(operation_impls(index)) for index in range(shards)]
@@ -135,18 +152,18 @@ def _shard_implementations(operation_impls, shards: int, operation: str):
             if len(impls) != shards:
                 raise ValueError(
                     f"{operation}: got {len(impls)} implementation lists "
-                    f"for {shards} shards"
+                    f"for {shards} {what}s"
                 )
             per_shard = [list(item) for item in impls]
         else:
             raise ValueError(
-                f"{operation}: a sharded deploy ({shards} shards) needs one "
-                "implementation list per shard — pass a factory "
-                "shard_index -> [implementations] or a list of lists"
+                f"{operation}: a {what}ed deploy ({shards} {what}s) needs one "
+                f"implementation list per {what} — pass a factory "
+                f"{what}_index -> [implementations] or a list of lists"
             )
     for index, shard_impls in enumerate(per_shard):
         if not shard_impls:
-            raise ValueError(f"{operation}: shard {index} has no implementations")
+            raise ValueError(f"{operation}: {what} {index} has no implementations")
     return per_shard
 
 
@@ -169,6 +186,9 @@ class WhisperSystem:
         self.config = ScenarioConfig.from_legacy_kwargs(
             config, legacy, "WhisperSystem"
         )
+        #: The declarative network shape.  ``config.topology=None`` means
+        #: the paper's flat single LAN (the seed, byte-identical).
+        self.topology = self.config.topology or Topology.single_region()
         self.env = Environment()
         self.trace = MessageTrace(record_details=self.config.record_trace_details)
         #: Request-scoped tracing + metrics (§5's per-phase attribution).
@@ -181,10 +201,16 @@ class WhisperSystem:
         )
         if self.config.observability:
             self.trace.metrics = self.obs.metrics
+        home_spec = self.topology.regions[0]
         self.network = Network(
             self.env,
             trace=self.trace,
             rng=RngRegistry(self.config.seed),
+            default_latency=(
+                parse_latency_spec(home_spec.latency)
+                if self.config.topology is not None
+                else None
+            ),
             obs=self.obs,
         )
         self.failures = FailureInjector(self.network)
@@ -192,10 +218,72 @@ class WhisperSystem:
         self.reasoner = Reasoner(self.ontology)
         self.matcher = ConceptMatcher(self.reasoner)
         self.services: Dict[str, DeployedService] = {}
+        #: Per-region rendezvous peers and gossip services (multi-region
+        #: topologies only; both empty on the flat LAN).
+        self.rendezvous_peers: Dict[str, Peer] = {}
+        self.gossip: Dict[str, GossipService] = {}
 
-        rdv_node = self.network.add_host("rdv0")
-        self.rendezvous = Peer(rdv_node, is_rendezvous=True)
-        self.rendezvous.publish_self(remote=False)
+        if self.topology.multi_region:
+            self._build_regions()
+            self.rendezvous = self.rendezvous_peers[self.topology.home]
+        else:
+            rdv_node = self.network.add_host("rdv0")
+            self.rendezvous = Peer(rdv_node, is_rendezvous=True)
+            self.rendezvous.publish_self(remote=False)
+
+    def _build_regions(self) -> None:
+        """Wire regions, WAN links, per-region rendezvous, and federation."""
+        topology = self.topology
+        for spec in topology.regions:
+            self.network.add_region(
+                spec.name,
+                latency=parse_latency_spec(spec.latency),
+                bandwidth_bps=spec.bandwidth_bps,
+                loss_rate=spec.loss_rate,
+            )
+        for link in topology.wan_links_effective():
+            self.network.connect_regions(
+                link.a,
+                link.b,
+                latency=parse_latency_spec(link.latency),
+                latency_back=(
+                    parse_latency_spec(link.latency_back)
+                    if link.latency_back is not None
+                    else None
+                ),
+                bandwidth_bps=link.bandwidth_bps,
+                loss_rate=link.loss_rate,
+            )
+        gossip_spec = topology.gossip
+        for spec in topology.regions:
+            node = self.network.add_host("rdv0", region=spec.name)
+            peer = Peer(node, is_rendezvous=True)
+            peer.publish_self(remote=False)
+            self.rendezvous_peers[spec.name] = peer
+            self.gossip[spec.name] = GossipService(
+                peer,
+                spec.name,
+                rng=self.network.rng.stream(f"gossip:{spec.name}"),
+                fanout=gossip_spec.fanout,
+                interval=gossip_spec.interval,
+                anti_entropy_interval=gossip_spec.anti_entropy_interval,
+                rumor_rounds=gossip_spec.rumor_rounds,
+                mode=gossip_spec.mode,
+            )
+        # Federate along the WAN links (the default mesh federates every
+        # pair): propagated queries keep flooding across the WAN, while
+        # advertisement state travels by gossip.
+        for link in topology.wan_links_effective():
+            peer_a = self.rendezvous_peers[link.a]
+            peer_b = self.rendezvous_peers[link.b]
+            peer_a.rendezvous.federate_with(
+                peer_b.endpoint.peer_id, peer_b.endpoint.address
+            )
+            peer_b.rendezvous.federate_with(
+                peer_a.endpoint.peer_id, peer_a.endpoint.address
+            )
+            self.gossip[link.a].add_peer(peer_b.endpoint.peer_id, link.b)
+            self.gossip[link.b].add_peer(peer_a.endpoint.peer_id, link.a)
 
     # -- config passthroughs (read-only compat accessors) ------------------------------
 
@@ -253,6 +341,13 @@ class WhisperSystem:
         )
         if scenario.shards < 1:
             raise ValueError(f"shards must be >= 1, got {scenario.shards}")
+        topology = self.topology
+        replicate_regions = topology.multi_region and topology.placement == "replicate"
+        if topology.multi_region and scenario.shards > 1:
+            raise NotImplementedError(
+                "sharded multi-region deployments are not supported yet — "
+                "use shards=1 with a multi-region topology"
+            )
         sws = SemanticWebService(definitions, self.ontology)
         if isinstance(implementations, dict):
             per_operation = dict(implementations)
@@ -266,53 +361,101 @@ class WhisperSystem:
 
         groups: Dict[str, BPeerGroup] = {}
         shard_groups: Dict[str, List[BPeerGroup]] = {}
+        region_groups: Optional[Dict[str, Dict[str, BPeerGroup]]] = (
+            {} if replicate_regions else None
+        )
         read_only: List[str] = []
+        region_names = topology.region_names()
         for operation, operation_impls in per_operation.items():
             annotation = sws.annotation(operation)
             base_name = group_name or f"grp-{sws.name}"
             name = base_name if len(per_operation) == 1 else f"{base_name}-{operation}"
-            per_shard = _shard_implementations(
-                operation_impls, scenario.shards, operation
+            common = dict(
+                annotation=annotation,
+                ontology_uri=self.ontology.uri,
+                heartbeat_interval=scenario.heartbeat_interval,
+                miss_threshold=scenario.miss_threshold,
+                load_sharing=scenario.load_sharing,
+                dispatch=scenario.dispatch,
+                queue_bound=scenario.queue_bound,
+                dedup_journal=scenario.dedup_journal,
+                journal_capacity=scenario.journal_capacity,
+                epoch_fencing=scenario.epoch_fencing,
             )
-            deployed_shards: List[BPeerGroup] = []
-            for shard_index, shard_impls in enumerate(per_shard):
-                deployed_shards.append(
-                    deploy_bpeer_group(
-                        self.network,
-                        self.rendezvous,
-                        group_name=(
-                            name
-                            if scenario.shards == 1
-                            else f"{name}-s{shard_index}"
-                        ),
-                        annotation=annotation,
-                        implementations=shard_impls,
-                        ontology_uri=self.ontology.uri,
-                        heartbeat_interval=scenario.heartbeat_interval,
-                        miss_threshold=scenario.miss_threshold,
-                        load_sharing=scenario.load_sharing,
-                        dispatch=scenario.dispatch,
-                        queue_bound=scenario.queue_bound,
-                        dedup_journal=scenario.dedup_journal,
-                        journal_capacity=scenario.journal_capacity,
-                        epoch_fencing=scenario.epoch_fencing,
-                        shard_index=(
-                            shard_index if scenario.shards > 1 else None
-                        ),
-                        shard_count=(
-                            scenario.shards if scenario.shards > 1 else None
-                        ),
-                    )
+            if replicate_regions:
+                # One independent group per region: its own replicas,
+                # election, and journal, advertised with a home region so
+                # proxies can prefer (and fail over across) regions.
+                per_region = _shard_implementations(
+                    operation_impls, len(region_names), operation, what="region"
                 )
-            groups[operation] = deployed_shards[0]
-            shard_groups[operation] = deployed_shards
-            if all(
-                not impl.mutating for impls in per_shard for impl in impls
-            ):
+                by_region: Dict[str, BPeerGroup] = {}
+                for region, region_impls in zip(region_names, per_region):
+                    by_region[region] = deploy_bpeer_group(
+                        self.network,
+                        self.rendezvous_peers[region],
+                        group_name=f"{name}@{region}",
+                        implementations=region_impls,
+                        region=region,
+                        **common,
+                    )
+                region_groups[operation] = by_region
+                groups[operation] = by_region[topology.home]
+                shard_groups[operation] = [by_region[topology.home]]
+                flat_impls = [impl for impls in per_region for impl in impls]
+            elif topology.multi_region:
+                # "span": one group (one election domain) whose replicas
+                # straddle the WAN, each attached to its region's
+                # rendezvous.  The advertisement carries no home region.
+                per_shard = _shard_implementations(operation_impls, 1, operation)
+                group = deploy_bpeer_group(
+                    self.network,
+                    self.rendezvous,
+                    group_name=name,
+                    implementations=per_shard[0],
+                    host_regions=region_names,
+                    rendezvous_by_region=self.rendezvous_peers,
+                    **common,
+                )
+                groups[operation] = group
+                shard_groups[operation] = [group]
+                flat_impls = list(per_shard[0])
+            else:
+                per_shard = _shard_implementations(
+                    operation_impls, scenario.shards, operation
+                )
+                deployed_shards: List[BPeerGroup] = []
+                for shard_index, shard_impls in enumerate(per_shard):
+                    deployed_shards.append(
+                        deploy_bpeer_group(
+                            self.network,
+                            self.rendezvous,
+                            group_name=(
+                                name
+                                if scenario.shards == 1
+                                else f"{name}-s{shard_index}"
+                            ),
+                            implementations=shard_impls,
+                            shard_index=(
+                                shard_index if scenario.shards > 1 else None
+                            ),
+                            shard_count=(
+                                scenario.shards if scenario.shards > 1 else None
+                            ),
+                            **common,
+                        )
+                    )
+                groups[operation] = deployed_shards[0]
+                shard_groups[operation] = deployed_shards
+                flat_impls = [impl for impls in per_shard for impl in impls]
+            if all(not impl.mutating for impl in flat_impls):
                 read_only.append(operation)
 
         host_name = web_host or f"web-{sws.name}"
-        web_node = self.network.add_host(host_name)
+        web_node = self.network.add_host(
+            host_name,
+            region=topology.home if topology.multi_region else None,
+        )
         proxy = SwsProxy(
             web_node,
             sws,
@@ -324,6 +467,8 @@ class WhisperSystem:
             epoch_fencing=scenario.epoch_fencing,
             scatter_policy=scenario.scatter_policy,
             virtual_nodes=scenario.virtual_nodes,
+            home_region=topology.home if replicate_regions else None,
+            region_count=len(region_names) if replicate_regions else 1,
         )
         proxy.read_only_operations.update(read_only)
         proxy.attach_to(self.rendezvous)
@@ -337,6 +482,7 @@ class WhisperSystem:
             group=first_group,
             groups=groups,
             shard_groups=shard_groups,
+            region_groups=region_groups,
         )
         self.services[sws.name] = deployed
         return deployed
@@ -351,9 +497,21 @@ class WhisperSystem:
         node = self.network.add_host(web_host or f"web-{service_name}")
         return PlainWebService(node, service_name, implementation)
 
-    def add_client(self, name: str = "client0", timeout: float = 5.0):
-        """Add a client host; returns ``(node, soap_client)``."""
-        node = self.network.add_host(name)
+    def add_client(
+        self,
+        name: str = "client0",
+        timeout: float = 5.0,
+        region: Optional[str] = None,
+    ):
+        """Add a client host; returns ``(node, soap_client)``.
+
+        In multi-region topologies the client lands in ``region``
+        (defaulting to the home region); on the flat LAN the argument
+        must stay ``None``.
+        """
+        if region is None and self.topology.multi_region:
+            region = self.topology.home
+        node = self.network.add_host(name, region=region)
         return node, SoapClient(node, default_timeout=timeout)
 
     # -- canonical scenario (§3's student management service) ----------------------------
@@ -396,9 +554,12 @@ class WhisperSystem:
                     implementations.append(student_lookup_operational(replica_db))
             return implementations
 
+        replicated = (
+            self.topology.multi_region and self.topology.placement == "replicate"
+        )
         implementations = (
             shard_implementations(0)
-            if scenario.shards == 1
+            if scenario.shards == 1 and not replicated
             else shard_implementations
         )
         return self.deploy_service(
@@ -495,11 +656,21 @@ class WhisperSystem:
                     "retry_after_honored": stats.retry_after_honored,
                     "shard_routed": stats.shard_routed,
                     "shard_failovers": stats.shard_failovers,
+                    "region_preferred": stats.region_preferred,
+                    "region_failovers": stats.region_failovers,
                     "scatter_calls": stats.scatter_calls,
                     "scatter_partial": stats.scatter_partial,
                 },
             }
-        return {
+            if deployed.region_groups:
+                services[name]["regions"] = {
+                    operation: {
+                        region: group.name
+                        for region, group in by_region.items()
+                    }
+                    for operation, by_region in deployed.region_groups.items()
+                }
+        report = {
             "time": self.env.now,
             "hosts": {"total": len(self.network.hosts), "up": hosts_up},
             "network": self.trace.snapshot(),
@@ -507,3 +678,23 @@ class WhisperSystem:
             "observability": {"enabled": self.obs.enabled},
             "phases": self.obs.phase_summary(),
         }
+        if self.topology.multi_region:
+            report["topology"] = {
+                "regions": list(self.topology.region_names()),
+                "home": self.topology.home,
+                "placement": self.topology.placement,
+                "gossip": {
+                    region: {
+                        "mode": service.mode,
+                        "entries": len(service.entries),
+                        "rumors_sent": service.stats.rumors_sent,
+                        "digests_sent": service.stats.digests_sent,
+                        "deltas_sent": service.stats.deltas_sent,
+                        "floods_sent": service.stats.floods_sent,
+                        "entries_applied": service.stats.entries_applied,
+                        "refreshes_suppressed": service.stats.refreshes_suppressed,
+                    }
+                    for region, service in self.gossip.items()
+                },
+            }
+        return report

@@ -28,6 +28,7 @@ from .endpoint import (
     EndpointService,
     UnresolvablePeerError,
 )
+from .gossip import GOSSIP_PROTOCOL, GossipEntry, GossipService
 from .ids import WORLD_GROUP_ID, JxtaId, PeerGroupId, PeerId, PipeId
 from .membership import Credential, MembershipError, MembershipService
 from .peer import Peer, create_peer_network
@@ -48,6 +49,9 @@ __all__ = [
     "ENDPOINT_PORT",
     "EndpointMessage",
     "EndpointService",
+    "GOSSIP_PROTOCOL",
+    "GossipEntry",
+    "GossipService",
     "GroupService",
     "InputPipe",
     "JxtaId",

@@ -300,6 +300,10 @@ class SemanticAdvertisement(Advertisement):
     #: (and their wire sizes) are byte-identical to the seed's.
     shard_index: Optional[int] = None
     shard_count: Optional[int] = None
+    #: Home region of the advertised group in multi-region topologies
+    #: (nearest-region proxy preference keys on it).  Stays ``None`` on
+    #: single-region deployments — wire format byte-identical to the seed.
+    region: Optional[str] = None
 
     def key(self) -> str:
         return f"SemAdv:{self.group_id.urn}"
@@ -314,6 +318,8 @@ class SemanticAdvertisement(Advertisement):
         if self.shard_count is not None:
             attrs["Shard"] = str(self.shard_index)
             attrs["Shards"] = str(self.shard_count)
+        if self.region is not None:
+            attrs["Region"] = self.region
         return attrs
 
     @property
@@ -366,6 +372,8 @@ class SemanticAdvertisement(Advertisement):
             elements.append(_text_element("ShardIndex", str(self.shard_index)))
         if self.shard_count is not None:
             elements.append(_text_element("ShardCount", str(self.shard_count)))
+        if self.region is not None:
+            elements.append(_text_element("Region", self.region))
         return elements
 
     @classmethod
@@ -391,4 +399,5 @@ class SemanticAdvertisement(Advertisement):
             qos_reliability=_optional_float("QosReliability"),
             shard_index=_optional_int("ShardIndex"),
             shard_count=_optional_int("ShardCount"),
+            region=root.findtext("Region"),
         )

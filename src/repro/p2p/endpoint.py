@@ -63,6 +63,13 @@ class EndpointService:
         self._nat_peers: Dict[PeerId, bool] = {}
         self._listeners: Dict[str, Listener] = {}
         self.relay_peer: Optional[PeerId] = None
+        #: Last-resort forwarding for relayed envelopes with no local route
+        #: (federated rendezvous install one: the destination may be leased
+        #: to a rendezvous in another region).  Returns True if it re-routed
+        #: the envelope; the default None keeps the seed's drop behaviour.
+        self.relay_fallback: Optional[
+            Callable[[EndpointMessage, Message], bool]
+        ] = None
         self.messages_in = 0
         self.messages_out = 0
         self._socket = None
@@ -227,7 +234,9 @@ class EndpointService:
     def _relay_forward(self, envelope: EndpointMessage, message: Message) -> None:
         address = self._routes.get(envelope.dst_peer)
         if address is None:
-            return  # relay cannot help; drop
+            if self.relay_fallback is not None:
+                self.relay_fallback(envelope, message)
+            return  # relay cannot help locally; fallback or drop
         self._socket.send(
             address,
             payload=envelope,

@@ -13,6 +13,14 @@ message cost (this is one of the levers behind Figure 4's linear shape):
    pattern as JXTA's SRDI advertisement index);
 3. a periodic *roster query* each member issues against that index,
    repairing any view divergence within one period.
+
+In multi-region deployments a rendezvous forwards each renewal it applies
+to its federated peers once, so every region's membership index converges
+on the full roster.  Without this, roster repair is region-local: a peer
+that restarts and loses its view could only ever re-learn members leased
+in its own region, and its coordinator announcements would silently skip
+the rest of the group.  Single-region deployments have no federation
+links, so the seed's message sequence is untouched.
 """
 
 from __future__ import annotations
@@ -253,6 +261,29 @@ class GroupService:
         entries[renewal.peer_id] = (renewal.address, expiry)
         self.endpoint.add_route(renewal.peer_id, renewal.address)
 
+    def _forward_renewal_federated(self, renewal: _Renewal) -> None:
+        """Replicate a locally-applied renewal to federated rendezvous.
+
+        Keeps every region's membership index authoritative for the whole
+        group, so a restarted peer's roster query repairs its view even
+        when the surviving members are leased in other regions.
+        """
+        if not (self.rendezvous.is_rendezvous and self.rendezvous.federated):
+            return
+        for peer_id in sorted(
+            self.rendezvous.federated, key=lambda pid: pid.uuid_hex
+        ):
+            try:
+                self.endpoint.send(
+                    peer_id,
+                    PROTOCOL,
+                    ("renew-fed", renewal),
+                    category="group-renew-fed",
+                    size_bytes=128,
+                )
+            except UnresolvablePeerError:
+                continue
+
     # -- group messaging -----------------------------------------------------------------
 
     def register_group_listener(self, protocol: str, listener: GroupListener) -> None:
@@ -324,6 +355,11 @@ class GroupService:
         elif kind == "member-sync":
             self._apply_member_sync(body)
         elif kind == "renew":
+            self._apply_renewal(body)
+            self._forward_renewal_federated(body)
+        elif kind == "renew-fed":
+            # A federated rendezvous replicated a remote member's renewal:
+            # index it, never re-forward (the federation mesh is complete).
             self._apply_renewal(body)
         elif kind == "join":
             self._apply_join(body, direct=True)

@@ -80,6 +80,13 @@ class RendezvousService:
         self.lease_expires_at: float = 0.0
         #: rendezvous side: SRDI advertisement documents by key.
         self.srdi: Dict[str, Tuple[PeerId, Advertisement]] = {}
+        #: federation links to rendezvous peers in *other* regions
+        #: (``peer_id -> address``).  Empty on single-region deployments,
+        #: which keeps every code path below byte-identical to the seed.
+        self.federated: Dict[PeerId, Address] = {}
+        #: observers of inbound SRDI pushes, ``(key, origin, adv, xml)`` —
+        #: the gossip layer subscribes here to pick up fresh advertisements.
+        self.on_srdi_push: List[Callable[[str, PeerId, Advertisement, str], None]] = []
         #: local dispatch for propagated datagrams: protocol -> callback.
         self._propagate_listeners: Dict[str, Callable[[Any, PeerId], None]] = {}
         self._renew_process = None
@@ -124,6 +131,61 @@ class RendezvousService:
     def has_lease(self) -> bool:
         return self.connected_to is not None and self.env.now < self.lease_expires_at
 
+    # -- federation (multi-region) --------------------------------------------------------
+
+    def federate_with(self, peer_id: PeerId, address: Address) -> None:
+        """Link this rendezvous to a peer-region rendezvous.
+
+        Federated rendezvous forward propagated datagrams across the WAN
+        (queries keep the paper's flood semantics between regions) and act
+        as a relay of last resort for responses addressed to peers leased
+        in another region.
+        """
+        if peer_id == self.endpoint.peer_id:
+            return
+        self.federated[peer_id] = address
+        self.endpoint.add_route(peer_id, address)
+        if self.endpoint.relay_fallback is None:
+            self.endpoint.relay_fallback = self._federated_relay
+
+    def _federated_relay(self, envelope, message) -> bool:
+        """Forward an unroutable relayed envelope to the other regions.
+
+        One federated hop only (the ``fed-hop`` header stops loops): the
+        region actually holding the destination's lease has a route and
+        delivers; the others drop silently, like any relay without a route.
+        """
+        if envelope.headers.get("fed-hop"):
+            return False
+        envelope.headers["fed-hop"] = True
+        for address in self.federated.values():
+            self.endpoint._socket.send(
+                address,
+                payload=envelope,
+                category=message.category,
+                size_bytes=message.size_bytes,
+            )
+        return True
+
+    def _fan_out_federated(self, request: "_PropagateRequest", size_bytes: int) -> None:
+        """Forward a propagated datagram to every federated rendezvous."""
+        if not self.federated or request.ttl <= 0:
+            return
+        forwarded = _PropagateRequest(
+            protocol=request.protocol,
+            payload=request.payload,
+            origin=request.origin,
+            ttl=request.ttl - 1,
+        )
+        for peer_id in sorted(self.federated, key=lambda pid: pid.uuid_hex):
+            self.endpoint.send(
+                peer_id,
+                PROTOCOL,
+                ("propagate-fed", forwarded),
+                category="rdv-propagate-fed",
+                size_bytes=size_bytes,
+            )
+
     # -- propagation --------------------------------------------------------------------
 
     def register_propagate_listener(
@@ -144,6 +206,7 @@ class RendezvousService:
         self._dispatch_local(request)
         if self.is_rendezvous:
             self._fan_out(request, exclude={origin}, size_bytes=size_bytes)
+            self._fan_out_federated(request, size_bytes=size_bytes)
         elif self.connected_to is not None:
             self.endpoint.send(
                 self.connected_to,
@@ -222,13 +285,24 @@ class RendezvousService:
             request: _PropagateRequest = body
             self._dispatch_local(request)
             self._fan_out(request, exclude={request.origin, message.src_peer})
+            self._fan_out_federated(request, size_bytes=512)
+        elif kind == "propagate-fed" and self.is_rendezvous:
+            # A peer-region rendezvous forwarded a propagated datagram:
+            # deliver locally and to our own edges, but never re-federate
+            # (the federation graph is complete; one WAN hop reaches all).
+            request: _PropagateRequest = body
+            self._dispatch_local(request)
+            self._fan_out(request, exclude={request.origin, message.src_peer})
         elif kind == "propagate-deliver":
             self._dispatch_local(body)
         elif kind == "srdi-push" and self.is_rendezvous:
             push: _SrdiPush = body
             for document in push.documents:
                 advertisement = advertisement_from_xml(document)
-                self.srdi[advertisement.key()] = (push.origin, advertisement)
+                key = advertisement.key()
+                self.srdi[key] = (push.origin, advertisement)
+                for hook in self.on_srdi_push:
+                    hook(key, push.origin, advertisement, document)
 
     def _expire_clients(self) -> None:
         now = self.env.now

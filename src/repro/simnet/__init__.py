@@ -20,9 +20,10 @@ from .latency import (
     LogNormalLatency,
     UniformLatency,
     lan_latency,
+    parse_latency_spec,
 )
 from .message import Address, Message
-from .network import Link, Network, UnknownHostError, lan
+from .network import Link, Network, Region, UnknownHostError, lan
 from .node import Node
 from .process import Process
 from .queues import PriorityStore, Store
@@ -50,6 +51,7 @@ __all__ = [
     "PortInUseError",
     "PriorityStore",
     "Process",
+    "Region",
     "RngRegistry",
     "RttSample",
     "SimulationError",
@@ -64,4 +66,5 @@ __all__ = [
     "UnknownHostError",
     "lan",
     "lan_latency",
+    "parse_latency_spec",
 ]

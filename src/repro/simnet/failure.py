@@ -75,6 +75,52 @@ class FailureInjector:
 
         self._at(time, split)
 
+    def partition_region_at(
+        self,
+        time: float,
+        region: str,
+        duration: Optional[float] = None,
+    ) -> None:
+        """Isolate an entire region at ``time``; heal after ``duration``.
+
+        Region-scoped partitions ride the same handle machinery as host
+        partitions, so overlapping region and host splits heal on their
+        own clocks.
+        """
+        label = f"region:{region}"
+
+        def split() -> None:
+            handle = self.network.isolate_region(region)
+            self.log.append(FailureEvent(self.network.env.now, "partition", label))
+            if duration is not None:
+                self._at(
+                    self.network.env.now + duration,
+                    lambda: self._heal_one(handle, label),
+                )
+
+        self._at(time, split)
+
+    def cut_wan_at(
+        self,
+        time: float,
+        region_a: str,
+        region_b: str,
+        duration: Optional[float] = None,
+    ) -> None:
+        """Cut the WAN between two regions at ``time``; heal after ``duration``."""
+        label = f"wan:{region_a}|{region_b}"
+
+        def split() -> None:
+            handle = self.network.partition_regions(region_a, region_b)
+            self.log.append(FailureEvent(self.network.env.now, "partition", label))
+            if duration is not None:
+                self._at(
+                    self.network.env.now + duration,
+                    lambda: self._heal_one(handle, label),
+                )
+
+        self._at(time, split)
+
     # -- churn ----------------------------------------------------------------------
 
     def churn(

@@ -19,6 +19,7 @@ __all__ = [
     "UniformLatency",
     "LogNormalLatency",
     "lan_latency",
+    "parse_latency_spec",
 ]
 
 
@@ -91,3 +92,86 @@ def lan_latency() -> LogNormalLatency:
     of roughly 0.5 ms, matching §5.
     """
     return LogNormalLatency(median=0.0002, sigma=0.25, floor=0.00005)
+
+
+# -- declarative latency specs --------------------------------------------------------
+
+#: Duration suffixes accepted by :func:`parse_latency_spec`.
+_UNITS = {"s": 1.0, "ms": 1e-3, "us": 1e-6, "µs": 1e-6}
+
+
+def _duration(text: str, spec: str) -> float:
+    """``"2ms"`` / ``"0.5s"`` / ``"200us"`` -> seconds."""
+    text = text.strip()
+    for suffix in sorted(_UNITS, key=len, reverse=True):
+        if text.endswith(suffix):
+            number = text[: -len(suffix)].strip()
+            break
+    else:
+        raise ValueError(
+            f"latency spec {spec!r}: duration {text!r} needs a unit "
+            f"({', '.join(sorted(_UNITS))})"
+        )
+    try:
+        value = float(number)
+    except ValueError:
+        raise ValueError(
+            f"latency spec {spec!r}: cannot parse duration {text!r}"
+        ) from None
+    return value * _UNITS[suffix]
+
+
+def parse_latency_spec(spec) -> LatencyModel:
+    """One string grammar for every latency model.
+
+    Accepted forms::
+
+        "lan"                     the paper-calibrated LAN model
+        "constant:2ms"            fixed one-way delay
+        "uniform:1ms-5ms"         uniform over [low, high]
+        "lognormal:40ms±15ms"     heavy-tailed; median 40 ms with a
+                                  one-sigma spread of ±15 ms ("+-" is an
+                                  ASCII alias for "±"; spread may omit
+                                  the unit and inherits the median's)
+
+    An already-constructed :class:`LatencyModel` passes through unchanged,
+    so APIs can accept either and normalise with one call.
+    """
+    if callable(spec):
+        return spec
+    if not isinstance(spec, str):
+        raise TypeError(f"latency spec must be a string or LatencyModel, got {spec!r}")
+    text = spec.strip()
+    if text == "lan":
+        return lan_latency()
+    kind, sep, rest = text.partition(":")
+    kind = kind.strip().lower()
+    rest = rest.strip()
+    if not sep or not rest:
+        raise ValueError(f"latency spec {spec!r}: expected '<kind>:<params>' or 'lan'")
+    if kind == "constant":
+        return ConstantLatency(_duration(rest, spec))
+    if kind == "uniform":
+        low_text, sep, high_text = rest.partition("-")
+        if not sep:
+            raise ValueError(f"latency spec {spec!r}: uniform needs 'low-high'")
+        return UniformLatency(_duration(low_text, spec), _duration(high_text, spec))
+    if kind == "lognormal":
+        body = rest.replace("+-", "±")
+        median_text, sep, spread_text = body.partition("±")
+        median = _duration(median_text, spec)
+        if not sep:
+            return LogNormalLatency(median=median)
+        spread_text = spread_text.strip()
+        if not any(spread_text.endswith(u) for u in _UNITS):
+            # Bare spread number inherits the median's unit: "40ms±15".
+            for suffix in sorted(_UNITS, key=len, reverse=True):
+                if median_text.strip().endswith(suffix):
+                    spread_text += suffix
+                    break
+        spread = _duration(spread_text, spec)
+        if spread <= 0 or spread >= median * 10:
+            raise ValueError(f"latency spec {spec!r}: spread out of range")
+        # Sigma such that one multiplicative sigma reaches median+spread.
+        return LogNormalLatency(median=median, sigma=math.log1p(spread / median))
+    raise ValueError(f"latency spec {spec!r}: unknown kind {kind!r}")

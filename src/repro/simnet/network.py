@@ -1,15 +1,24 @@
-"""The simulated network: hosts, links, routing, partitions.
+"""The simulated network: hosts, links, routing, regions, partitions.
 
 The default topology models the paper's testbed: a set of identical machines
 on a switched 100 Mbit/s Ethernet LAN.  Message delay is *propagation*
 (drawn from the link's latency model) plus *transmission* (size divided by
 link bandwidth).  Hosts that are down, partitioned apart, or unlucky with
 the loss rate never receive the message — the trace records the drop.
+
+Multi-region topologies add a second tier: hosts may be placed in a named
+:class:`Region` (each region is its own switched LAN), and regions are
+joined by *directed* WAN links so up/down latency can be asymmetric.
+Region-placed hosts live under a qualified name (``"<region>/<host>"``);
+bare names still resolve when unambiguous, and resolve to an
+:class:`UnknownHostError` naming both candidates when two regions contain
+the same host name.  A single-region (or region-free) network behaves
+byte-for-byte like the flat LAN the paper measured.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from ..obs import Observability
@@ -21,7 +30,7 @@ from .rng import RngRegistry
 from .trace import MessageTrace
 from .transport import Transport
 
-__all__ = ["Link", "Network", "UnknownHostError"]
+__all__ = ["Link", "Region", "Network", "UnknownHostError"]
 
 #: 100 Mbit/s, the paper's Ethernet LAN.
 DEFAULT_BANDWIDTH_BPS = 100e6
@@ -38,6 +47,15 @@ class Link:
     latency: LatencyModel
     bandwidth_bps: float
     loss_rate: float = 0.0
+
+
+@dataclass
+class Region:
+    """One switched LAN segment of a multi-region topology."""
+
+    name: str
+    link: Link
+    hosts: Set[str] = field(default_factory=set)
 
 
 class Network:
@@ -64,6 +82,11 @@ class Network:
         self.loss_rate = 0.0
         self.hosts: Dict[str, Node] = {}
         self._links: Dict[FrozenSet[str], Link] = {}
+        self.regions: Dict[str, Region] = {}
+        #: Directed WAN links, ``(src_region, dst_region) -> Link`` — two
+        #: entries per region pair so up/down latency can differ.
+        self._wan_links: Dict[Tuple[str, str], Link] = {}
+        self._host_region: Dict[str, str] = {}
         self._partitions: List[Tuple[Set[str], Set[str]]] = []
         self._rng_stream = self.rng.stream("network")
         #: Per-host NIC egress availability: a host transmits one frame at
@@ -95,23 +118,121 @@ class Network:
 
     # -- topology ---------------------------------------------------------------
 
-    def add_host(self, name: str) -> Node:
-        """Add a machine to the LAN."""
-        if name in self.hosts:
-            raise ValueError(f"host {name!r} already exists")
-        node = Node(self, name)
+    def add_region(
+        self,
+        name: str,
+        latency: Optional[LatencyModel] = None,
+        bandwidth_bps: Optional[float] = None,
+        loss_rate: float = 0.0,
+    ) -> Region:
+        """Declare a named LAN segment; hosts join it via ``add_host(region=)``."""
+        if name in self.regions:
+            raise ValueError(f"region {name!r} already exists")
+        if "/" in name:
+            raise ValueError(f"region name {name!r} must not contain '/'")
+        region = Region(
+            name=name,
+            link=Link(
+                latency=latency or self.default_latency,
+                bandwidth_bps=bandwidth_bps or self.default_bandwidth_bps,
+                loss_rate=loss_rate,
+            ),
+        )
+        self.regions[name] = region
+        return region
+
+    def connect_regions(
+        self,
+        a: str,
+        b: str,
+        latency: Optional[LatencyModel] = None,
+        latency_back: Optional[LatencyModel] = None,
+        bandwidth_bps: Optional[float] = None,
+        loss_rate: float = 0.0,
+    ) -> Link:
+        """Join two regions with a WAN link (asymmetric if ``latency_back``).
+
+        ``latency`` shapes the ``a -> b`` direction, ``latency_back`` the
+        return path (defaults to symmetric).  Cross-region traffic between
+        unconnected regions is dropped with reason ``no-wan-route``.
+        """
+        for region in (a, b):
+            if region not in self.regions:
+                raise ValueError(f"unknown region {region!r}")
+        if a == b:
+            raise ValueError("a WAN link needs two distinct regions")
+        forward = Link(
+            latency=latency or self.default_latency,
+            bandwidth_bps=bandwidth_bps or self.default_bandwidth_bps,
+            loss_rate=loss_rate,
+        )
+        backward = Link(
+            latency=latency_back or forward.latency,
+            bandwidth_bps=forward.bandwidth_bps,
+            loss_rate=loss_rate,
+        )
+        self._wan_links[(a, b)] = forward
+        self._wan_links[(b, a)] = backward
+        return forward
+
+    def qualified_host(self, name: str, region: Optional[str]) -> str:
+        """The key a host is stored under: ``"<region>/<name>"`` when placed."""
+        if region is None or name.startswith(f"{region}/"):
+            return name
+        return f"{region}/{name}"
+
+    def add_host(self, name: str, region: Optional[str] = None) -> Node:
+        """Add a machine to the LAN (or to ``region``'s segment)."""
+        if region is not None and region not in self.regions:
+            raise ValueError(f"unknown region {region!r}")
+        key = self.qualified_host(name, region)
+        if key in self.hosts:
+            raise ValueError(f"host {key!r} already exists")
+        node = Node(self, key)
         node.transport = Transport(node)
-        self.hosts[name] = node
+        self.hosts[key] = node
+        if region is not None:
+            self._host_region[key] = region
+            self.regions[region].hosts.add(key)
         return node
 
-    def add_hosts(self, names: Iterable[str]) -> List[Node]:
-        return [self.add_host(name) for name in names]
+    def add_hosts(self, names: Iterable[str], region: Optional[str] = None) -> List[Node]:
+        return [self.add_host(name, region=region) for name in names]
+
+    def resolve_host_name(self, name: str) -> str:
+        """Resolve a possibly-bare host name to its stored key.
+
+        Exact keys win; a bare name resolves iff exactly one region-placed
+        host carries it.  Two regions holding the same bare name raise an
+        :class:`UnknownHostError` naming both candidates — the flat-namespace
+        assumption partitions and sends used to make is a bug once regions
+        can reuse host names.
+        """
+        if name in self.hosts:
+            return name
+        if self._host_region and "/" not in name:
+            suffix = f"/{name}"
+            candidates = [key for key in self.hosts if key.endswith(suffix)]
+            if len(candidates) == 1:
+                return candidates[0]
+            if len(candidates) > 1:
+                raise UnknownHostError(
+                    f"{name!r} is ambiguous across regions: "
+                    f"{sorted(candidates)}; use a qualified '<region>/{name}'"
+                )
+        raise UnknownHostError(name)
 
     def host(self, name: str) -> Node:
-        try:
-            return self.hosts[name]
-        except KeyError:
-            raise UnknownHostError(name) from None
+        return self.hosts[self.resolve_host_name(name)]
+
+    def region_of(self, name: str) -> Optional[str]:
+        """The region a host was placed in (``None`` for flat LAN hosts)."""
+        return self._host_region.get(self.resolve_host_name(name))
+
+    def region_hosts(self, region: str) -> Set[str]:
+        if region not in self.regions:
+            raise ValueError(f"unknown region {region!r}")
+        return set(self.regions[region].hosts)
 
     def connect(
         self,
@@ -122,8 +243,7 @@ class Network:
         loss_rate: float = 0.0,
     ) -> Link:
         """Override the default LAN characteristics for one host pair."""
-        if a not in self.hosts or b not in self.hosts:
-            raise UnknownHostError(f"{a!r} or {b!r}")
+        a, b = self.resolve_host_name(a), self.resolve_host_name(b)
         link = Link(
             latency=latency or self.default_latency,
             bandwidth_bps=bandwidth_bps or self.default_bandwidth_bps,
@@ -132,9 +252,33 @@ class Network:
         self._links[frozenset((a, b))] = link
         return link
 
+    def _route(self, src: str, dst: str) -> Optional[Link]:
+        """The directed effective link, or ``None`` when no WAN route exists.
+
+        Per-pair overrides win; then same-region traffic uses the region's
+        LAN link, cross-region traffic the directed WAN link (``None`` if
+        the regions were never connected), and everything else the default
+        flat LAN — exactly the seed's behaviour when no regions exist.
+        """
+        override = self._links.get(frozenset((src, dst)))
+        if override is not None:
+            return override
+        region_a = self._host_region.get(src)
+        region_b = self._host_region.get(dst)
+        if region_a is not None and region_b is not None:
+            if region_a == region_b:
+                return self.regions[region_a].link
+            return self._wan_links.get((region_a, region_b))
+        return Link(
+            latency=self.default_latency,
+            bandwidth_bps=self.default_bandwidth_bps,
+            loss_rate=self.loss_rate,
+        )
+
     def link_between(self, a: str, b: str) -> Link:
-        """The effective link (override or LAN default) for a host pair."""
-        link = self._links.get(frozenset((a, b)))
+        """The effective ``a -> b`` link (override, region, WAN, or default)."""
+        a, b = self.resolve_host_name(a), self.resolve_host_name(b)
+        link = self._route(a, b)
         if link is not None:
             return link
         return Link(
@@ -153,11 +297,29 @@ class Network:
         Returns a handle identifying *this* partition; pass it to
         :meth:`heal_partition` to remove only this split.  Overlapping
         partitions with different lifetimes stay independent that way —
-        healing one must not heal the others.
+        healing one must not heal the others.  Bare host names are
+        resolved against the region namespace, so an ambiguous name (same
+        host name in two regions) raises instead of silently matching
+        neither key.
         """
-        handle = (set(side_a), set(side_b))
+        handle = (
+            {self.resolve_host_name(name) for name in side_a},
+            {self.resolve_host_name(name) for name in side_b},
+        )
         self._partitions.append(handle)
         return handle
+
+    def partition_regions(
+        self, region_a: str, region_b: str
+    ) -> Tuple[Set[str], Set[str]]:
+        """Cut the WAN between two regions (all hosts of one vs. the other)."""
+        return self.partition(self.region_hosts(region_a), self.region_hosts(region_b))
+
+    def isolate_region(self, region: str) -> Tuple[Set[str], Set[str]]:
+        """Partition one region away from every other host."""
+        inside = self.region_hosts(region)
+        outside = {name for name in self.hosts if name not in inside}
+        return self.partition(inside, outside)
 
     def heal_partition(self, handle: Tuple[Set[str], Set[str]]) -> bool:
         """Remove one partition (by handle identity); True if it was active."""
@@ -204,7 +366,11 @@ class Network:
             self.trace.on_drop(self.env.now, message, reason="partition")
             return
 
-        link = self.link_between(src_name, dst_name)
+        link = self._route(src_name, dst_name)
+        if link is None:
+            # Distinct regions with no WAN link between them.
+            self.trace.on_drop(self.env.now, message, reason="no-wan-route")
+            return
         loss = max(link.loss_rate, self.loss_rate)
         if loss > 0 and self._rng_stream.random() < loss:
             self.trace.on_drop(self.env.now, message, reason="loss")

@@ -1,0 +1,82 @@
+"""The latency-spec grammar: one string form for every latency model."""
+
+import pytest
+
+from repro.simnet.latency import (
+    ConstantLatency,
+    LogNormalLatency,
+    UniformLatency,
+    lan_latency,
+    parse_latency_spec,
+)
+
+
+class TestParseLatencySpec:
+    def test_lan_matches_the_paper_calibration(self):
+        model = parse_latency_spec("lan")
+        reference = lan_latency()
+        assert isinstance(model, LogNormalLatency)
+        assert model.median == reference.median
+        assert model.sigma == reference.sigma
+        assert model.floor == reference.floor
+
+    def test_constant(self):
+        model = parse_latency_spec("constant:2ms")
+        assert isinstance(model, ConstantLatency)
+        assert model.seconds == pytest.approx(0.002)
+
+    def test_constant_units(self):
+        assert parse_latency_spec("constant:1s").seconds == pytest.approx(1.0)
+        assert parse_latency_spec("constant:200us").seconds == pytest.approx(2e-4)
+
+    def test_uniform(self):
+        model = parse_latency_spec("uniform:1ms-5ms")
+        assert isinstance(model, UniformLatency)
+        assert model.low == pytest.approx(0.001)
+        assert model.high == pytest.approx(0.005)
+
+    def test_lognormal_with_spread(self):
+        model = parse_latency_spec("lognormal:40ms±15ms")
+        assert isinstance(model, LogNormalLatency)
+        assert model.median == pytest.approx(0.040)
+        assert model.sigma > 0
+
+    def test_ascii_spread_alias_and_unit_inheritance(self):
+        with_unit = parse_latency_spec("lognormal:40ms±15ms")
+        ascii_alias = parse_latency_spec("lognormal:40ms+-15ms")
+        bare_spread = parse_latency_spec("lognormal:40ms±15")
+        assert ascii_alias.median == with_unit.median
+        assert ascii_alias.sigma == with_unit.sigma
+        assert bare_spread.sigma == with_unit.sigma
+
+    def test_lognormal_without_spread(self):
+        model = parse_latency_spec("lognormal:10ms")
+        assert isinstance(model, LogNormalLatency)
+        assert model.median == pytest.approx(0.010)
+
+    def test_model_passthrough(self):
+        model = ConstantLatency(0.003)
+        assert parse_latency_spec(model) is model
+
+    def test_whitespace_is_tolerated(self):
+        model = parse_latency_spec("  constant: 2ms ")
+        assert model.seconds == pytest.approx(0.002)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "constant:2",  # missing unit
+            "warp:9ms",  # unknown kind
+            "uniform:3ms",  # missing high bound
+            "lognormal:10ms±500ms",  # spread out of range
+            "constant:",  # missing params
+            "constant",  # missing separator
+        ],
+    )
+    def test_rejects_malformed_specs(self, bad):
+        with pytest.raises(ValueError):
+            parse_latency_spec(bad)
+
+    def test_rejects_non_string_non_model(self):
+        with pytest.raises(TypeError):
+            parse_latency_spec(42)
