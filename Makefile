@@ -1,6 +1,6 @@
 # Developer conveniences for the Whisper reproduction.
 
-.PHONY: install test bench examples figures overload exactly-once check check-self-test shard shard-smoke perf perf-smoke wan wan-smoke all clean
+.PHONY: install test bench examples figures overload exactly-once check check-self-test shard shard-smoke perf perf-smoke wan wan-smoke saga saga-smoke all clean
 
 install:
 	python setup.py develop
@@ -72,6 +72,23 @@ wan:
 wan-smoke:
 	python -m repro wan --smoke --out bench-wan-smoke.json
 	python -m repro check --regions 2 --seeds 1 --schedules 5 --timeout 300
+
+# Saga benchmark: availability, p99, and compensation correctness of the
+# loan-solvency pipeline under 1% loss + orchestrator crashes at commit
+# boundaries, against the no-compensation baseline (which must strand
+# partial effects).  Regenerates the committed BENCH_saga.json record.
+saga:
+	python -m repro saga --out BENCH_saga.json
+
+# The CI tier: single-seed bench with the full assertion set, a random
+# saga schedule-exploration pass, the compensation-off self-test (the
+# atomicity audit must catch, shrink, and replay the violation), and the
+# dead-letter-queue park + requeue demo.
+saga-smoke:
+	python -m repro saga --smoke --out bench-saga-smoke.json
+	python -m repro check --saga --seeds 1 --schedules 5 --timeout 300
+	python -m repro check --saga-self-test --timeout 300 --out saga-self-test-repro.json
+	python -m repro dlq --requeue
 
 outputs:
 	pytest tests/ 2>&1 | tee test_output.txt

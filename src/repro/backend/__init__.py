@@ -4,7 +4,8 @@ The substrate behind b-peers.  Substitutes the paper's real student-records
 database with deterministic synthetic datasets (see DESIGN.md), and
 provides the §4.1 failover pair: an operational :class:`Database` that can
 be failed, and a :func:`build_warehouse` replica that a semantically
-equivalent b-peer serves from instead.
+equivalent b-peer serves from instead.  :mod:`~repro.backend.loans` adds
+the loan-solvency saga pipeline (forward + compensating operation pairs).
 """
 
 from .datasets import (
@@ -12,6 +13,17 @@ from .datasets import (
     loans_database,
     patients_database,
     student_database,
+)
+from .loans import (
+    book_loan,
+    cancel_loan,
+    loan_booking_database,
+    loan_desk_database,
+    register_loan,
+    release_funds,
+    reserve_funds,
+    solvency_database,
+    unbook_loan,
 )
 from .services import (
     ServiceImplementation,
@@ -31,16 +43,24 @@ __all__ = [
     "RecordNotFound",
     "ServiceImplementation",
     "Table",
+    "book_loan",
     "build_warehouse",
+    "cancel_loan",
     "claim_assessment",
     "claims_database",
     "loan_approval",
+    "loan_booking_database",
+    "loan_desk_database",
     "loans_database",
     "patient_record_retrieval",
     "patients_database",
+    "register_loan",
+    "release_funds",
+    "reserve_funds",
+    "solvency_database",
     "student_database",
     "student_enrollment",
     "student_lookup_operational",
     "student_lookup_warehouse",
-    "warehouse_lookup",
+    "unbook_loan",
 ]

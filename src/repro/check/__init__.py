@@ -43,7 +43,21 @@ from .invariants import (
     convergence_violations,
     exactly_once_violations,
     queue_bound_violations,
+    saga_atomicity_violations,
+    saga_effects,
     stale_result_violations,
+)
+from .saga import (
+    SAGA_REPRO_FORMAT,
+    SagaCheckScenario,
+    SagaRunResult,
+    explore_saga_schedules,
+    replay_saga_repro,
+    run_dlq_demo,
+    run_saga_schedule,
+    saga_self_test,
+    save_saga_repro,
+    shrink_saga_schedule,
 )
 from .schedule import FaultOp, Schedule, random_schedule
 from .tiebreak import (
@@ -62,6 +76,9 @@ __all__ = [
     "FifoTiebreak",
     "InvariantRegistry",
     "RunResult",
+    "SAGA_REPRO_FORMAT",
+    "SagaCheckScenario",
+    "SagaRunResult",
     "Schedule",
     "ScheduleExplorer",
     "SeededShuffleTiebreak",
@@ -69,12 +86,21 @@ __all__ = [
     "build_tiebreak",
     "convergence_violations",
     "exactly_once_violations",
+    "explore_saga_schedules",
     "load_repro",
     "queue_bound_violations",
     "random_schedule",
     "replay_repro",
+    "replay_saga_repro",
+    "run_dlq_demo",
+    "run_saga_schedule",
     "run_schedule",
+    "saga_atomicity_violations",
+    "saga_effects",
+    "saga_self_test",
+    "save_saga_repro",
     "self_test",
+    "shrink_saga_schedule",
     "shrink_schedule",
     "stale_result_violations",
 ]

@@ -41,6 +41,8 @@ __all__ = [
     "exactly_once_violations",
     "queue_bound_violations",
     "convergence_violations",
+    "saga_effects",
+    "saga_atomicity_violations",
     "InvariantRegistry",
 ]
 
@@ -150,6 +152,100 @@ def convergence_violations(peers, group: str = "") -> List[str]:
             f"after cooldown{where}: {claimants}"
         ]
     return []
+
+
+# -- saga atomicity --------------------------------------------------------------------
+
+
+def saga_effects(peers) -> Tuple[Dict[str, Counter], Dict[str, Counter]]:
+    """Parse saga-structured invocation ids out of the effect ledgers.
+
+    The orchestrator mints ``saga:<saga_id>:<step>:<fwd|comp>`` keys (see
+    :func:`repro.workflow.saga.saga_invocation_id`), so backend effect
+    logs carry saga membership.  Returns two maps, forward and
+    compensation: ``saga_id -> Counter(step -> application count)``.
+    """
+    forward: Dict[str, Counter] = {}
+    compensation: Dict[str, Counter] = {}
+    for invocation_id, count in effect_totals(peers).items():
+        if not invocation_id.startswith("saga:"):
+            continue
+        try:
+            saga_id, step, phase = invocation_id[len("saga:"):].rsplit(":", 2)
+        except ValueError:
+            continue
+        if phase == "fwd":
+            forward.setdefault(saga_id, Counter())[step] += count
+        elif phase == "comp":
+            compensation.setdefault(saga_id, Counter())[step] += count
+    return forward, compensation
+
+
+def saga_atomicity_violations(saga_log, peers, final: bool = False) -> List[str]:
+    """Every saga is atomic: all committed, or every applied step undone.
+
+    Audits the durable saga log against the backend effect ledgers
+    (``saga_log`` duck-types :class:`repro.workflow.saga.SagaLog`; state
+    strings are compared literally to avoid a circular import with the
+    campaign).  Always checked:
+
+    * no compensation applied more than once (double rollback);
+    * a ``committed`` saga has no compensation effects;
+    * a ``compensated`` saga has every applied forward step compensated;
+    * an ``abandoned`` saga (compensation disabled) with a strict subset
+      of its mutating steps applied and not fully compensated stranded
+      partial effects — the defect compensation exists to prevent.
+
+    With ``final=True`` (post-cooldown only), a non-terminal saga is
+    itself a violation: the orchestrator should have driven it to a
+    terminal state once faults drained.  ``dead-lettered`` sagas are
+    excused — their incompleteness is explicitly parked in the DLQ.
+    """
+    violations: List[str] = []
+    forward, compensation = saga_effects(peers)
+    terminal = ("committed", "compensated", "abandoned", "dead-lettered")
+    for record in saga_log.records():
+        saga_id = record.saga_id
+        applied = forward.get(saga_id, Counter())
+        undone = compensation.get(saga_id, Counter())
+        for step, count in sorted(undone.items()):
+            if count > 1:
+                violations.append(
+                    f"saga {saga_id}: compensation of {step} applied "
+                    f"{count} times (double rollback)"
+                )
+        if record.state == "committed":
+            if undone:
+                violations.append(
+                    f"saga {saga_id}: committed but steps "
+                    f"{sorted(undone)} were compensated"
+                )
+        elif record.state == "compensated":
+            stranded = sorted(set(applied) - set(undone))
+            if stranded:
+                violations.append(
+                    f"saga {saga_id}: compensated but applied steps "
+                    f"{stranded} have no compensation effect"
+                )
+        elif record.state == "abandoned":
+            mutating = {
+                step.name
+                for step in record.steps
+                if getattr(step, "mutating", True)
+            }
+            stranded = sorted(set(applied) - set(undone))
+            if stranded and set(applied) != mutating:
+                violations.append(
+                    f"saga {saga_id}: abandoned with partial effects "
+                    f"stranded (applied {sorted(applied)}, "
+                    f"never compensated {stranded})"
+                )
+        if final and record.state not in terminal:
+            violations.append(
+                f"saga {saga_id}: still {record.state} after cooldown "
+                f"(applied {sorted(applied)}, compensated {sorted(undone)})"
+            )
+    return violations
 
 
 # -- the stateful registry ----------------------------------------------------------

@@ -13,12 +13,15 @@
                           [--skip-rebalance] [--json]
     python -m repro check [--seeds 5] [--schedules 50] [--timeout 300]
                           [--regions 2] [--self-test] [--replay FILE]
+                          [--saga] [--saga-self-test] [--saga-replay FILE]
                           [--out FILE] [--json]
     python -m repro trace [--samples 20] [--crash] [--last 5] [--json]
     python -m repro metrics [--samples 50] [--crash] [--json | --csv]
     python -m repro perf [--scale smoke|full|both] [--out BENCH_simnet.json]
                          [--check RECORD] [--tolerance 0.25] [--json]
     python -m repro wan [--scale smoke|full] [--out BENCH_wan.json] [--json]
+    python -m repro saga [--scale smoke|full] [--out BENCH_saga.json] [--json]
+    python -m repro dlq [--sagas 3] [--requeue] [--json]
 
 Each subcommand prints the same tables the corresponding benchmark
 asserts on (see EXPERIMENTS.md).  Common flags — ``--seed``,
@@ -360,6 +363,75 @@ def _cmd_check(args: argparse.Namespace) -> int:
     """Schedule exploration: 0 = clean, 1 = counterexample, 2 = checker broken."""
     from .check import CheckScenario, ScheduleExplorer, replay_repro, self_test
 
+    if args.saga_replay:
+        from .check import replay_saga_repro
+
+        ok, result, expected = replay_saga_repro(args.saga_replay)
+        payload = {
+            "replay": args.saga_replay,
+            "match": ok,
+            "digest": result.digest(),
+            "expected_digest": expected["digest"],
+            "violations": result.violations,
+        }
+        if args.json:
+            print(json_module.dumps(payload, indent=2))
+        elif ok:
+            print(f"saga replay {args.saga_replay}: byte-identical "
+                  f"({len(result.violations)} violation(s) reproduced)")
+            for violation in result.violations:
+                print(f"  - {violation}")
+        else:
+            print(f"saga replay {args.saga_replay}: DIVERGED "
+                  f"(got {result.digest()[:16]}…, "
+                  f"expected {expected['digest'][:16]}…)")
+        return 0 if ok else 2
+
+    if args.saga_self_test:
+        from .check import saga_self_test
+
+        outcome = saga_self_test(
+            seed=args.seed,
+            repro_path=args.out,
+            time_budget=args.timeout,
+        )
+        if args.json:
+            print(json_module.dumps(outcome, indent=2))
+        else:
+            status = "OK" if outcome["ok"] else "FAILED"
+            print(f"saga checker self-test (compensation disabled): {status}")
+            for key in ("violations", "shrunk_schedule", "shrink_runs",
+                        "repro_path", "replay_ok", "tries"):
+                if key in outcome:
+                    print(f"  {key:16}: {outcome[key]}")
+        # Like --self-test: a clean pass means the atomicity audit has no
+        # teeth, which outranks a mere counterexample.
+        return 0 if outcome["ok"] else 2
+
+    if args.saga:
+        from .check import explore_saga_schedules
+
+        report = explore_saga_schedules(
+            seeds=range(args.seed, args.seed + args.seeds),
+            schedules_per_seed=args.schedules,
+            max_ops=args.max_ops,
+            time_budget=args.timeout,
+            repro_path=args.out,
+        )
+        if args.json:
+            print(json_module.dumps(report, indent=2))
+        else:
+            status = "clean" if report["clean"] else "COUNTEREXAMPLE"
+            print(f"saga schedule exploration: {status} "
+                  f"({report['runs']} runs"
+                  + (", truncated" if report.get("truncated") else "")
+                  + ")")
+            for key in ("seed", "violations", "schedule",
+                        "shrunk_schedule", "repro_path"):
+                if key in report:
+                    print(f"  {key:16}: {report[key]}")
+        return 0 if report["clean"] else 1
+
     if args.replay:
         ok, result, expected = replay_repro(args.replay)
         payload = {
@@ -550,6 +622,60 @@ def _cmd_wan(args: argparse.Namespace) -> int:
     return 0 if not failures else 1
 
 
+def _cmd_saga(args: argparse.Namespace) -> int:
+    from .bench import saga as saga_module
+
+    record = saga_module.run_saga_bench(
+        scale="smoke" if args.smoke else args.scale,
+        progress=None if args.json else print,
+    )
+    with open(args.out, "w") as handle:
+        handle.write(json_module.dumps(record, indent=2) + "\n")
+    if args.json:
+        print(json_module.dumps(record, indent=2))
+    else:
+        print(saga_module.format_record(record))
+        print(f"wrote {args.out}")
+    failures = saga_module.check_record(record)
+    for failure in failures:
+        print(failure)
+    return 0 if not failures else 1
+
+
+def _cmd_dlq(args: argparse.Namespace) -> int:
+    """Inspect (and optionally requeue) dead-lettered sagas."""
+    from .check import run_dlq_demo
+
+    demo = run_dlq_demo(
+        seed=args.seed, sagas=args.sagas, requeue=args.requeue
+    )
+    if args.json:
+        print(json_module.dumps(demo, indent=2))
+    else:
+        print(f"dead-letter queue after a {demo['outage']:.0f}s outage of "
+              f"{', '.join(demo['cancel_hosts'])} "
+              f"({demo['parked']} saga(s) parked):")
+        for line in demo["entries"]:
+            print(f"  {line}")
+        if args.requeue:
+            print("\nafter outage heal + requeue:")
+            for line in demo.get("entries_after", []):
+                print(f"  {line}")
+            print("final states: " + ", ".join(
+                f"{saga_id}={state}"
+                for saga_id, state in sorted(demo["states"].items())
+            ))
+        print(f"\npending entries: {demo['pending_after']}, "
+              f"atomicity violations: {len(demo['violations'])}")
+        for violation in demo["violations"]:
+            print(f"  - {violation}")
+    if demo["violations"]:
+        return 1
+    if args.requeue:
+        return 0 if demo["pending_after"] == 0 else 1
+    return 0 if demo["parked"] > 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -725,6 +851,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="WAN regions the explored group spans (region-isolation "
              "schedules audit election safety across WAN splits)",
     )
+    check.add_argument(
+        "--saga", action="store_true",
+        help="explore the saga scenario instead: random fault schedules "
+             "(orchestrator crashes included) under the atomicity audit",
+    )
+    check.add_argument(
+        "--saga-self-test", action="store_true",
+        help="disable compensation and require the atomicity audit to "
+             "catch, shrink, and replay the stranded-effects violation",
+    )
+    check.add_argument(
+        "--saga-replay", metavar="FILE", default=None,
+        help="re-execute a saved saga repro file and verify its digest",
+    )
     check.set_defaults(func=_cmd_check)
 
     trace = subparsers.add_parser(
@@ -804,6 +944,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="where to write the WAN record",
     )
     wan.set_defaults(func=_cmd_wan)
+
+    saga = subparsers.add_parser(
+        "saga",
+        parents=[json_parent],
+        help="saga bench: availability + atomicity under faults, vs the "
+             "no-compensation baseline",
+    )
+    saga.add_argument(
+        "--scale", choices=("smoke", "full"), default="full",
+        help="seed count and sagas per seed; smoke is the CI tier",
+    )
+    saga.add_argument(
+        "--smoke", action="store_true",
+        help="shorthand for --scale smoke (the CI tier)",
+    )
+    saga.add_argument(
+        "--out", default="BENCH_saga.json",
+        help="where to write the saga record",
+    )
+    saga.set_defaults(func=_cmd_saga)
+
+    dlq = subparsers.add_parser(
+        "dlq",
+        parents=[seed_parent, json_parent],
+        help="dead-letter queue: park sagas whose compensation exhausted "
+             "its budget, inspect, optionally requeue",
+    )
+    dlq.add_argument(
+        "--sagas", type=int, default=3,
+        help="insolvent sagas to submit against the dead CancelLoan group",
+    )
+    dlq.add_argument(
+        "--requeue", action="store_true",
+        help="after the outage heals, requeue every pending entry and "
+             "re-audit atomicity",
+    )
+    dlq.set_defaults(func=_cmd_dlq)
 
     return parser
 

@@ -476,6 +476,7 @@ class SwsProxy(Peer):
         arguments: Dict[str, Any],
         timeout: Optional[float] = None,
         budget: Optional[float] = None,
+        invocation_id: Optional[str] = None,
     ) -> Generator:
         """Execute ``operation`` on the b-peer back-end (``yield from``).
 
@@ -498,13 +499,20 @@ class SwsProxy(Peer):
         :class:`~repro.obs.span.RequestTrace` with ``discover`` / ``bind``
         / ``invoke`` / ``recover`` phase spans, feeding the per-phase
         latency histograms that ``status_report()`` and the CLI expose.
+
+        ``invocation_id`` overrides the proxy-minted idempotency key —
+        the saga orchestrator uses this to pin a deterministic,
+        write-ahead-logged key so a restarted orchestrator re-issues the
+        *same* logical call and the b-peer journal deduplicates it.
         """
         self.stats.invocations += 1
         rtrace = self.obs.request_trace(
             f"{self.sws.name}.{operation}", self.stats.invocations, self.env.now
         )
         try:
-            result = yield from self._invoke(operation, arguments, timeout, budget, rtrace)
+            result = yield from self._invoke(
+                operation, arguments, timeout, budget, rtrace, invocation_id
+            )
         except BaseException as error:
             self.obs.finish_request(rtrace, self.env.now, status=type(error).__name__)
             raise
@@ -518,6 +526,7 @@ class SwsProxy(Peer):
         timeout: Optional[float],
         budget: Optional[float],
         rtrace,
+        invocation_id: Optional[str] = None,
     ) -> Generator:
         started_at = self.env.now
         per_request_timeout = timeout if timeout is not None else self.request_timeout
@@ -526,8 +535,11 @@ class SwsProxy(Peer):
         )
         # Idempotency key for the whole logical call: every retry/rebind
         # below re-sends under the same id, so the b-peer group can
-        # deduplicate (journal replay) instead of re-executing.
-        invocation_id = f"{self.name}#{next(self._invocation_ids)}"
+        # deduplicate (journal replay) instead of re-executing.  A caller
+        # may pin its own (durably logged) key; otherwise the proxy mints
+        # one from its private counter.
+        if invocation_id is None:
+            invocation_id = f"{self.name}#{next(self._invocation_ids)}"
 
         discover_span = rtrace.begin("discover", self.env.now)
         matches = yield from self.find_peer_group_adv(operation, deadline=deadline)

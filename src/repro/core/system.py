@@ -119,13 +119,16 @@ class DeployedService:
         arguments: Dict[str, Any],
         timeout: Optional[float] = None,
         budget: Optional[float] = None,
+        invocation_id: Optional[str] = None,
     ) -> Generator[Any, Any, InvokeResult]:
         """Invoke through the SWS-proxy; returns a typed
         :class:`~repro.core.result.InvokeResult` (``.value`` holds the
         bare payload).  Convenience for tests/benchmarks that do not
-        need the SOAP wire."""
+        need the SOAP wire.  ``invocation_id`` pins the idempotency key
+        (saga orchestration) instead of letting the proxy mint one."""
         result = yield from self.proxy.invoke(
-            operation, arguments, timeout=timeout, budget=budget
+            operation, arguments, timeout=timeout, budget=budget,
+            invocation_id=invocation_id,
         )
         return result
 

@@ -121,6 +121,14 @@ def enterprise_ontology() -> Ontology:
     builder.concept("b2b:LoanApplication", parents=["b2b:LoanManagement"])
     builder.concept("b2b:CreditCheck", parents=["b2b:LoanManagement"])
     builder.concept("b2b:LoanApproval", parents=["b2b:LoanManagement"])
+    # The loan-solvency saga pipeline: each mutating action pairs with
+    # its compensating action (reverse-order rollback on saga failure).
+    builder.concept("b2b:RegisterLoan", parents=["b2b:LoanApplication"])
+    builder.concept("b2b:CancelLoan", parents=["b2b:LoanApplication"])
+    builder.concept("b2b:ReserveFunds", parents=["b2b:CreditCheck"])
+    builder.concept("b2b:ReleaseFunds", parents=["b2b:CreditCheck"])
+    builder.concept("b2b:BookLoan", parents=["b2b:LoanApproval"])
+    builder.concept("b2b:UnbookLoan", parents=["b2b:LoanApproval"])
 
     # Healthcare processes.
     builder.concept("b2b:PatientCare", parents=["b2b:BusinessProcess"])
@@ -142,6 +150,9 @@ def enterprise_ontology() -> Ontology:
     builder.concept("b2b:LoanApplicationForm", parents=["b2b:Document"])
     builder.concept("b2b:CreditReport", parents=["b2b:Document"])
     builder.concept("b2b:LoanDecision", parents=["b2b:Document"])
+    builder.concept("b2b:LoanRegistration", parents=["b2b:Document"])
+    builder.concept("b2b:FundsReservation", parents=["b2b:Document"])
+    builder.concept("b2b:LoanBooking", parents=["b2b:LoanDecision"])
     builder.concept("b2b:PatientRecord", parents=["b2b:Document"])
     builder.concept("b2b:MedicalRecord", parents=["b2b:Document"])
     builder.equivalent("b2b:PatientRecord", "b2b:MedicalRecord")

@@ -6,6 +6,21 @@ context copies merged at the join; choices evaluate predicates against the
 context; loops iterate up to their bound.  Per-task latencies and the
 end-to-end outcome land in a :class:`WorkflowResult` for comparison with
 the §2.4 QoS prediction.
+
+Tasks invoke in one of two modes (see
+:class:`~repro.workflow.model.ServiceTask`): proxy-backed tasks go
+through ``service.invoke`` and inherit the whole SWS-Proxy pipeline —
+discovery, retry under a deadline budget, epoch-fenced failover,
+overload shedding, idempotency keys — with the
+:class:`~repro.core.result.InvokeResult` metadata (attempts, outcome,
+dedup, invocation id) landing on the :class:`TaskRecord`; legacy
+address/path tasks keep the seed's raw ``SoapClient`` call.
+
+Every terminal invocation outcome is surfaced as a structured
+``WorkflowResult.error`` instead of escaping the runner: wire faults
+(``SoapFault``, including ``Server.Busy`` after shed-retry exhaustion),
+client timeouts, and the proxy's ``WhisperError`` family (deadline
+exceeded, no matching group, invocation failed).
 """
 
 from __future__ import annotations
@@ -13,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Generator, List, Optional
 
+from ..core.errors import WhisperError
 from ..simnet.events import AllOf
 from ..simnet.node import Node
 from ..soap.client import SoapClient
@@ -29,18 +45,53 @@ from .model import (
     WorkflowNode,
 )
 
-__all__ = ["WorkflowEngine", "WorkflowResult", "TaskRecord"]
+__all__ = [
+    "WorkflowEngine",
+    "WorkflowResult",
+    "TaskRecord",
+    "TASK_ERRORS",
+    "format_error",
+]
+
+#: Exceptions a workflow run converts into a structured result error
+#: rather than letting escape: wire-level faults and timeouts, the
+#: proxy's terminal ``WhisperError`` family (deadline exhausted, no
+#: matching group, invocation failed), and structural workflow errors.
+TASK_ERRORS = (SoapFault, RequestTimeout, WorkflowError, WhisperError)
+
+
+def format_error(error: BaseException) -> str:
+    """One-line structured rendering of a task/workflow failure.
+
+    SOAP faults keep their fault code (so ``Server.Busy`` sheds are
+    distinguishable from plain ``Server`` faults in ``result.error``);
+    everything else renders as ``TypeName: message``.
+    """
+    if isinstance(error, SoapFault):
+        return f"SoapFault[{error.faultcode}]: {error.faultstring}"
+    return f"{type(error).__name__}: {error}"
 
 
 @dataclass
 class TaskRecord:
-    """One task execution: timing and outcome."""
+    """One task execution: timing, outcome, and invocation metadata."""
 
     task: str
     started_at: float
     finished_at: float
     succeeded: bool
     error: Optional[str] = None
+    #: 1-based occurrence index among records of the same task name —
+    #: distinguishes loop iterations and re-executed steps.
+    attempt: int = 1
+    #: Proxy send-and-wait attempts (1 for legacy SoapClient tasks).
+    attempts: int = 1
+    #: ``InvokeOutcome.value`` for proxy-backed tasks (``None`` legacy).
+    outcome: Optional[str] = None
+    #: Proxy-minted idempotency key, when the step went through one.
+    invocation_id: Optional[str] = None
+    #: True when the value was replayed from a b-peer dedup journal.
+    deduped: bool = False
 
     @property
     def elapsed(self) -> float:
@@ -66,10 +117,27 @@ class WorkflowResult:
         return self.finished_at - self.started_at
 
     def record_for(self, task_name: str) -> Optional[TaskRecord]:
+        """The *first* record for ``task_name`` (see :meth:`records_for`)."""
         for record in self.records:
             if record.task == task_name:
                 return record
         return None
+
+    def records_for(self, task_name: str) -> List[TaskRecord]:
+        """Every record for ``task_name``, in execution order.
+
+        A task can run more than once (loop bodies, re-executed steps);
+        each record's ``attempt`` gives its 1-based occurrence index.
+        """
+        return [record for record in self.records if record.task == task_name]
+
+    def add_record(self, record: TaskRecord) -> TaskRecord:
+        """Append ``record``, stamping its per-name occurrence index."""
+        record.attempt = 1 + sum(
+            1 for existing in self.records if existing.task == record.task
+        )
+        self.records.append(record)
+        return record
 
 
 class WorkflowEngine:
@@ -93,8 +161,8 @@ class WorkflowEngine:
         def runner():
             try:
                 yield from self._execute(workflow, result.context, result)
-            except (SoapFault, RequestTimeout, WorkflowError) as error:
-                result.error = f"{type(error).__name__}: {error}"
+            except TASK_ERRORS as error:
+                result.error = format_error(error)
 
         process = self.node.spawn(runner(), name="workflow")
         self.env.run(until=process)
@@ -139,30 +207,36 @@ class WorkflowEngine:
     ) -> Generator:
         arguments = task.input_mapping(context)
         started = self.env.now
-        try:
-            value = yield from self.client.call(
-                task.address, task.path, task.operation, arguments,
-                timeout=task.timeout,
-            )
-        except (SoapFault, RequestTimeout) as error:
-            result.records.append(
-                TaskRecord(
-                    task=task.name,
-                    started_at=started,
-                    finished_at=self.env.now,
-                    succeeded=False,
-                    error=f"{type(error).__name__}: {error}",
-                )
-            )
-            raise
-        result.records.append(
-            TaskRecord(
-                task=task.name,
-                started_at=started,
-                finished_at=self.env.now,
-                succeeded=True,
-            )
+        record = TaskRecord(
+            task=task.name,
+            started_at=started,
+            finished_at=started,
+            succeeded=False,
         )
+        try:
+            if task.service is not None:
+                invoked = yield from task.service.invoke(
+                    task.operation, arguments,
+                    timeout=task.timeout, budget=task.budget,
+                )
+                value = invoked.value
+                record.attempts = invoked.attempts
+                record.outcome = invoked.outcome.value
+                record.invocation_id = invoked.invocation_id
+                record.deduped = invoked.deduped
+            else:
+                value = yield from self.client.call(
+                    task.address, task.path, task.operation, arguments,
+                    timeout=task.timeout,
+                )
+        except TASK_ERRORS as error:
+            record.finished_at = self.env.now
+            record.error = format_error(error)
+            result.add_record(record)
+            raise
+        record.finished_at = self.env.now
+        record.succeeded = True
+        result.add_record(record)
         if task.output_key is not None:
             context[task.output_key] = value
 
@@ -179,8 +253,8 @@ class WorkflowEngine:
             def branch_runner(branch=branch, child=child_context, index=index):
                 try:
                     yield from self._execute(branch, child, result)
-                except (SoapFault, RequestTimeout, WorkflowError) as error:
-                    branch_errors[index] = f"{type(error).__name__}: {error}"
+                except TASK_ERRORS as error:
+                    branch_errors[index] = format_error(error)
 
             processes.append(
                 self.node.spawn(branch_runner(), name=f"workflow-branch-{index}")
@@ -189,11 +263,23 @@ class WorkflowEngine:
         failures = [message for message in branch_errors if message is not None]
         if failures:
             raise WorkflowError(f"parallel branch failed: {failures[0]}")
-        # Deterministic join: merge branch writes in branch order.
-        for child_context in branch_contexts:
+        # Deterministic join: merge branch writes in branch order.  Two
+        # branches writing *different* values to the same key is a real
+        # data race the static key check cannot always see (same-named
+        # tasks in different branches pass it) — refuse to pick a winner.
+        writers: dict = {}
+        for index, child_context in enumerate(branch_contexts):
             for key, value in child_context.items():
-                if key not in context or context[key] is not value:
-                    context[key] = value
+                if key in context and context[key] is value:
+                    continue  # unchanged inherited binding
+                if key in writers and writers[key][1] is not value:
+                    raise WorkflowError(
+                        f"parallel branches {writers[key][0]} and {index} "
+                        f"both wrote conflicting values for {key!r}"
+                    )
+                writers.setdefault(key, (index, value))
+        for key, (_index, value) in writers.items():
+            context[key] = value
 
     def _run_choice(
         self, node: ExclusiveChoice, context: Context, result: WorkflowResult

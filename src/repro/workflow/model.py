@@ -48,19 +48,36 @@ class WorkflowNode:
 class ServiceTask(WorkflowNode):
     """One invocation of a (Whisper) Web service operation.
 
-    * ``address``/``path`` locate the service endpoint;
-    * ``operation`` names the WSDL operation;
-    * ``input_mapping`` builds the call arguments from the context;
-    * ``output_key`` stores the result back into the context.
+    Two invocation modes, chosen by which locator is supplied:
+
+    * ``service`` — anything exposing
+      ``invoke(operation, arguments, timeout=..., budget=...)`` as a
+      simulation generator returning an
+      :class:`~repro.core.result.InvokeResult` (a
+      :class:`~repro.core.system.DeployedService` or an
+      :class:`~repro.core.proxy.SwsProxy`).  The step then inherits the
+      whole SWS-Proxy pipeline: semantic discovery, retry under a
+      deadline budget, epoch-fenced failover, overload shedding, and a
+      proxy-minted idempotency key.
+    * ``address``/``path`` — the legacy static SOAP endpoint, called
+      through :class:`~repro.soap.client.SoapClient` with no recovery
+      beyond what the remote web service provides.
+
+    ``operation`` names the WSDL operation; ``input_mapping`` builds the
+    call arguments from the context; ``output_key`` stores the result
+    value back into the context; ``budget`` (proxy mode only) caps the
+    step's whole retry deadline in simulated seconds.
     """
 
     name: str
-    address: Tuple[str, int]
-    path: str
-    operation: str
-    input_mapping: Callable[[Context], Dict[str, Any]]
+    address: Optional[Tuple[str, int]] = None
+    path: Optional[str] = None
+    operation: str = ""
+    input_mapping: Callable[[Context], Dict[str, Any]] = lambda context: {}
     output_key: Optional[str] = None
     timeout: float = 30.0
+    service: Any = None
+    budget: Optional[float] = None
 
     def tasks(self) -> List["ServiceTask"]:
         return [self]
@@ -68,8 +85,20 @@ class ServiceTask(WorkflowNode):
     def validate(self) -> None:
         if not self.name:
             raise WorkflowError("service task needs a name")
+        if not self.operation:
+            raise WorkflowError(f"task {self.name!r}: needs an operation")
         if not callable(self.input_mapping):
             raise WorkflowError(f"task {self.name!r}: input_mapping must be callable")
+        if self.service is None:
+            if self.address is None or self.path is None:
+                raise WorkflowError(
+                    f"task {self.name!r}: needs either a service or "
+                    "an address and path"
+                )
+        elif not hasattr(self.service, "invoke"):
+            raise WorkflowError(
+                f"task {self.name!r}: service must expose invoke()"
+            )
 
 
 @dataclass

@@ -20,6 +20,9 @@ from .samples import (
     bank_loans_wsdl,
     healthcare_wsdl,
     insurance_claims_wsdl,
+    loan_booking_wsdl,
+    loan_desk_wsdl,
+    solvency_wsdl,
     student_admin_wsdl,
     student_management_wsdl,
 )
@@ -46,6 +49,9 @@ __all__ = [
     "definitions_to_xml",
     "healthcare_wsdl",
     "insurance_claims_wsdl",
+    "loan_booking_wsdl",
+    "loan_desk_wsdl",
+    "solvency_wsdl",
     "student_admin_wsdl",
     "student_management_wsdl",
 ]

@@ -18,6 +18,9 @@ __all__ = [
     "insurance_claims_wsdl",
     "bank_loans_wsdl",
     "healthcare_wsdl",
+    "loan_desk_wsdl",
+    "solvency_wsdl",
+    "loan_booking_wsdl",
 ]
 
 _UMA_TNS = "http://uma.pt/services/StudentManagement"
@@ -194,4 +197,118 @@ def healthcare_wsdl() -> Definitions:
         action=B2B["RetrievePatientRecord"],
         input_concept=B2B["PatientID"],
         output_concept=B2B["PatientRecord"],
+    )
+
+
+# -- loan-solvency saga pipeline ---------------------------------------------------------
+#
+# Three services, each pairing a mutating forward operation with its
+# compensating operation (the saga's reverse-order rollback): the
+# message labels are the handler argument keys (see
+# :mod:`repro.backend.loans`).
+
+
+def _saga_pair_wsdl(
+    service_name: str,
+    interface_name: str,
+    forward: Operation,
+    compensation: Operation,
+) -> Definitions:
+    tns = f"http://example.org/services/{service_name}"
+    schema = Schema(target_namespace=tns)
+    schema.add_element(ElementDecl("Request", "xsd:string"))
+    schema.add_element(ElementDecl("Response", "xsd:string"))
+    interface = Interface(name=interface_name)
+    interface.add_operation(forward)
+    interface.add_operation(compensation)
+    definitions = Definitions(
+        name=service_name,
+        target_namespace=tns,
+        schema=schema,
+        namespaces={"b2b": B2B.uri, "tns": tns + "#"},
+    )
+    definitions.add_interface(interface)
+    return definitions
+
+
+def _part(label: str, concept: str) -> MessagePart:
+    return MessagePart(
+        message_label=label, element="tns:Request", model_reference=concept
+    )
+
+
+def _out(concept: str) -> MessagePart:
+    return MessagePart(
+        message_label="response", element="tns:Response", model_reference=concept
+    )
+
+
+def loan_desk_wsdl() -> Definitions:
+    """CRUD tier of the loan-solvency pipeline: register / cancel."""
+    return _saga_pair_wsdl(
+        "LoanDesk",
+        "LoanDeskPort",
+        Operation(
+            name="RegisterLoan",
+            action=B2B["RegisterLoan"],
+            inputs=[
+                _part("loanId", B2B["LoanID"]),
+                _part("applicant", B2B["CustomerID"]),
+                _part("amount", B2B["LoanApplicationForm"]),
+            ],
+            outputs=[_out(B2B["LoanRegistration"])],
+        ),
+        Operation(
+            name="CancelLoan",
+            action=B2B["CancelLoan"],
+            inputs=[_part("loanId", B2B["LoanID"])],
+            outputs=[_out(B2B["LoanRegistration"])],
+        ),
+    )
+
+
+def solvency_wsdl() -> Definitions:
+    """Business-logic tier: reserve funds against a solvency check."""
+    return _saga_pair_wsdl(
+        "SolvencyEngine",
+        "SolvencyPort",
+        Operation(
+            name="ReserveFunds",
+            action=B2B["ReserveFunds"],
+            inputs=[
+                _part("loanId", B2B["LoanID"]),
+                _part("applicant", B2B["CustomerID"]),
+                _part("amount", B2B["LoanApplicationForm"]),
+            ],
+            outputs=[_out(B2B["FundsReservation"])],
+        ),
+        Operation(
+            name="ReleaseFunds",
+            action=B2B["ReleaseFunds"],
+            inputs=[_part("loanId", B2B["LoanID"])],
+            outputs=[_out(B2B["FundsReservation"])],
+        ),
+    )
+
+
+def loan_booking_wsdl() -> Definitions:
+    """Orchestration tier: finalise (or unwind) the approved loan."""
+    return _saga_pair_wsdl(
+        "LoanBooking",
+        "LoanBookingPort",
+        Operation(
+            name="BookLoan",
+            action=B2B["BookLoan"],
+            inputs=[
+                _part("loanId", B2B["LoanID"]),
+                _part("amount", B2B["LoanApplicationForm"]),
+            ],
+            outputs=[_out(B2B["LoanBooking"])],
+        ),
+        Operation(
+            name="UnbookLoan",
+            action=B2B["UnbookLoan"],
+            inputs=[_part("loanId", B2B["LoanID"])],
+            outputs=[_out(B2B["LoanBooking"])],
+        ),
     )

@@ -204,6 +204,158 @@ class TestValidation:
             ).validate()
 
 
+class TestParallelJoin:
+    def test_runtime_conflicting_writes_fail_the_workflow(self, deployment):
+        """Branches writing different values to one key is a data race
+        the static output-key check cannot see — the join must refuse."""
+        system, claims, _loans = deployment
+        node = system.network.add_host(f"wf-join-{system.env.now}")
+        engine = WorkflowEngine(node)
+
+        def tagged_mapping(tag):
+            def mapping(ctx):
+                ctx["winner"] = tag
+                return {"request": ctx["claim_id"]}
+            return mapping
+
+        workflow = ParallelFlow([
+            ServiceTask(
+                name="left", address=claims.address, path=claims.path,
+                operation="ProcessClaim", input_mapping=tagged_mapping("L"),
+                output_key="left-out",
+            ),
+            ServiceTask(
+                name="right", address=claims.address, path=claims.path,
+                operation="ProcessClaim", input_mapping=tagged_mapping("R"),
+                output_key="right-out",
+            ),
+        ])
+        result = engine.run(workflow, {"claim_id": "C00020"})
+        assert not result.succeeded
+        assert "conflicting values for 'winner'" in result.error
+
+    def test_identical_writes_merge_cleanly(self, deployment):
+        system, claims, _loans = deployment
+        node = system.network.add_host(f"wf-merge-{system.env.now}")
+        engine = WorkflowEngine(node)
+        shared = {"note": "same object"}
+
+        def write_shared(ctx):
+            ctx["agreed"] = shared
+            return {"request": ctx["claim_id"]}
+
+        workflow = ParallelFlow([
+            ServiceTask(
+                name="left", address=claims.address, path=claims.path,
+                operation="ProcessClaim", input_mapping=write_shared,
+                output_key="left-out",
+            ),
+            ServiceTask(
+                name="right", address=claims.address, path=claims.path,
+                operation="ProcessClaim", input_mapping=write_shared,
+                output_key="right-out",
+            ),
+        ])
+        result = engine.run(workflow, {"claim_id": "C00021"})
+        assert result.succeeded, result.error
+        assert result.context["agreed"] is shared
+
+
+class TestTaskRecords:
+    def test_records_for_returns_every_occurrence(self, deployment):
+        system, claims, _loans = deployment
+        node = system.network.add_host(f"wf-records-{system.env.now}")
+        engine = WorkflowEngine(node)
+        state = {"count": 0}
+
+        def bump(ctx):
+            state["count"] += 1
+            return {"request": ctx["claim_id"]}
+
+        workflow = LoopFlow(
+            body=ServiceTask(
+                name="poll", address=claims.address, path=claims.path,
+                operation="ProcessClaim", input_mapping=bump,
+                output_key="assessment",
+            ),
+            condition=lambda ctx: state["count"] < 3,
+            repeat_probability=0.5,
+        )
+        result = engine.run(workflow, {"claim_id": "C00022"})
+        assert result.succeeded
+        records = result.records_for("poll")
+        assert len(records) == 3
+        assert [record.attempt for record in records] == [1, 2, 3]
+        # record_for keeps its documented first-match contract.
+        assert result.record_for("poll") is records[0]
+        assert result.records_for("missing") == []
+
+
+class TestProxyBackedTasks:
+    def test_task_runs_through_the_proxy_pipeline(self, deployment):
+        system, claims, _loans = deployment
+        node = system.network.add_host(f"wf-proxy-{system.env.now}")
+        engine = WorkflowEngine(node)
+        workflow = SequenceFlow([
+            ServiceTask(
+                name="assess", service=claims, operation="ProcessClaim",
+                input_mapping=lambda ctx: {"request": ctx["claim_id"]},
+                output_key="assessment", timeout=2.0, budget=8.0,
+            ),
+        ])
+        result = engine.run(workflow, {"claim_id": "C00030"})
+        assert result.succeeded, result.error
+        record = result.record_for("assess")
+        assert record.invocation_id is not None
+        assert record.outcome == "ok"
+        assert record.attempts == 1
+        assert not record.deduped
+
+    def test_terminal_fault_is_structured(self, deployment):
+        system, claims, _loans = deployment
+        node = system.network.add_host(f"wf-proxyfault-{system.env.now}")
+        engine = WorkflowEngine(node)
+        workflow = SequenceFlow([
+            ServiceTask(
+                name="assess", service=claims, operation="ProcessClaim",
+                input_mapping=lambda ctx: {"request": "C99999"},
+                output_key="assessment", timeout=2.0, budget=8.0,
+            ),
+        ])
+        result = engine.run(workflow, {"claim_id": "C99999"})
+        assert not result.succeeded
+        assert result.error.startswith("SoapFault[")
+        assert not result.record_for("assess").succeeded
+
+    def test_deadline_exhaustion_is_structured(self):
+        """A proxy-level terminal outcome (deadline exceeded against a
+        dead group) lands in ``result.error``, not an escaped exception."""
+        system = WhisperSystem(ScenarioConfig(seed=112, replicas=2))
+        claims = system.deploy_service(
+            insurance_claims_wsdl(),
+            [claim_assessment(claims_database()) for _ in range(2)],
+            group_name="wf-dead-claims",
+        )
+        system.settle(6.0)
+        for peer in claims.group.peers:
+            system.failures.crash_at(system.env.now + 0.01, peer.node.name)
+        node = system.network.add_host("wf-deadline")
+        engine = WorkflowEngine(node)
+        workflow = SequenceFlow([
+            ServiceTask(
+                name="assess", service=claims, operation="ProcessClaim",
+                input_mapping=lambda ctx: {"request": ctx["claim_id"]},
+                output_key="assessment", timeout=0.5, budget=1.5,
+            ),
+        ])
+        result = engine.run(workflow, {"claim_id": "C00031"})
+        assert not result.succeeded
+        assert "deadline exhausted" in result.error
+        record = result.record_for("assess")
+        assert record.error == result.error
+        assert not record.succeeded
+
+
 class TestPrediction:
     T1 = QosMetrics(time=1.0, cost=1.0, reliability=0.9)
     T2 = QosMetrics(time=2.0, cost=2.0, reliability=0.8)
