@@ -1,6 +1,6 @@
 # Developer conveniences for the Whisper reproduction.
 
-.PHONY: install test bench examples figures overload exactly-once check check-self-test shard shard-smoke perf perf-smoke wan wan-smoke saga saga-smoke all clean
+.PHONY: install test bench examples figures overload exactly-once check check-self-test shard shard-smoke perf perf-smoke wan wan-smoke saga saga-smoke capacity capacity-smoke all clean
 
 install:
 	python setup.py develop
@@ -89,6 +89,24 @@ saga-smoke:
 	python -m repro check --saga --seeds 1 --schedules 5 --timeout 300
 	python -m repro check --saga-self-test --timeout 300 --out saga-self-test-repro.json
 	python -m repro dlq --requeue
+
+# Adaptive capacity benchmark: the diurnal trace priced against the
+# provision-for-peak baseline (replica-hours, availability parity, p99
+# band, cache hit ratio), the breaker trip-and-heal drill, and the
+# single-deployment Figure-4 byte-identity guard.  Regenerates the
+# committed BENCH_capacity.json record.
+capacity:
+	python -m repro capacity --out BENCH_capacity.json
+
+# The CI tier: the smoke bench with the full assertion set, a
+# scale-op-enabled schedule-exploration pass, and the capacity
+# conformance test suites (autoscale properties, breaker transition
+# table, result-cache semantics, record gating).
+capacity-smoke:
+	python -m repro capacity --smoke --out bench-capacity-smoke.json
+	python -m repro check --capacity --seeds 1 --schedules 25 --timeout 300
+	pytest tests/properties/test_prop_autoscale.py tests/core/test_breaker.py \
+		tests/core/test_rescache.py tests/bench/test_capacity.py -q
 
 outputs:
 	pytest tests/ 2>&1 | tee test_output.txt

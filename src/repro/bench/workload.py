@@ -13,6 +13,7 @@ Both record per-request latency and outcome into a :class:`WorkloadResult`.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -24,6 +25,11 @@ from ..soap.http import RequestTimeout
 from .stats import Summary, summarize
 
 __all__ = ["WorkloadResult", "ClosedLoopWorkload", "PoissonWorkload"]
+
+#: Process-wide counter for workload host names: ``id(self)``-derived
+#: names collide when a freed workload's address is reused, which breaks
+#: multi-phase benches that run one workload after another.
+_workload_ids = itertools.count()
 
 
 @dataclass
@@ -117,6 +123,7 @@ class ClosedLoopWorkload:
         self.call_timeout = call_timeout
         self.arguments = arguments or _student_arguments
         self.result = WorkloadResult()
+        self._workload_id = next(_workload_ids)
 
     def run(self) -> WorkloadResult:
         """Execute the workload to completion (advances the simulation)."""
@@ -124,7 +131,9 @@ class ClosedLoopWorkload:
         self.result.started_at = env.now
         processes = []
         for client_index in range(self.clients):
-            node = self.system.network.add_host(f"client-{client_index}-{id(self) & 0xFFFF:x}")
+            node = self.system.network.add_host(
+                f"client-{client_index}-{self._workload_id}"
+            )
             soap = SoapClient(node, default_timeout=self.call_timeout)
             processes.append(
                 node.spawn(
@@ -193,12 +202,13 @@ class PoissonWorkload:
         self.arguments = arguments or _student_arguments
         self.rng = system.network.rng.stream(rng_stream)
         self.result = WorkloadResult()
+        self._workload_id = next(_workload_ids)
         self._outstanding = 0
         self._drained = None
 
     def run(self) -> WorkloadResult:
         env = self.system.env
-        node = self.system.network.add_host(f"injector-{id(self) & 0xFFFF:x}")
+        node = self.system.network.add_host(f"injector-{self._workload_id}")
         self.result.started_at = env.now
         arrival_process = node.spawn(self._arrival_loop(node), name="poisson-arrivals")
         env.run(until=arrival_process)

@@ -34,7 +34,10 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..backend.datasets import student_database
 from ..backend.services import student_enrollment
+from ..core.autoscale import AutoscaleSpec
+from ..core.breaker import BreakerSpec
 from ..core.config import ScenarioConfig
+from ..core.rescache import ResultCacheSpec
 from ..core.errors import WhisperError
 from ..core.system import WhisperSystem
 from ..core.topology import Topology
@@ -102,6 +105,15 @@ class CheckScenario:
     #: isolation ops, so election safety and exactly-once are audited
     #: across WAN splits and heals.
     regions: int = 1
+    #: Adaptive-capacity exploration: the deployment gains an autoscaling
+    #: controller, a proxy circuit breaker, and the semantic result cache,
+    #: and schedules gain forced ``scale-up``/``scale-down`` ops — so
+    #: retirements, breaker trips, and cache fencing race crashes,
+    #: partitions, and drops while the capacity invariants (drained
+    #: retirement, justified breaker opens, zero fenced-epoch serves)
+    #: are audited every slice.  ``False`` keeps the deployment (and
+    #: every existing repro file's digest) unchanged.
+    capacity: bool = False
 
     def region_names(self) -> List[str]:
         return [f"r{index}" for index in range(self.regions)]
@@ -172,11 +184,35 @@ def _build_system(scenario: CheckScenario):
     same invariants across WAN splits and heals."""
     if scenario.shards > 1 and scenario.regions > 1:
         raise ValueError("shards and regions cannot both exceed 1")
+    if scenario.capacity and (scenario.shards > 1 or scenario.regions > 1):
+        raise ValueError("capacity scenarios require shards == regions == 1")
     topology = (
         Topology.mesh(scenario.region_names(), placement="span")
         if scenario.regions > 1
         else None
     )
+    capacity_specs: Dict[str, Any] = {}
+    if scenario.capacity:
+        capacity_specs = dict(
+            # Short cooldown/interval so forced and policy-driven scale
+            # transitions both land inside the probe window; the breaker
+            # re-closes well before the post-cooldown final probes, so a
+            # trip mid-schedule never dooms eventual rebind.
+            autoscale=AutoscaleSpec(
+                min_replicas=2,
+                max_replicas=scenario.replicas + 2,
+                cooldown=2.0,
+                interval=0.5,
+                drain_timeout=8.0,
+            ),
+            circuit_breaker=BreakerSpec(
+                window=8,
+                min_calls=4,
+                failure_threshold=0.75,
+                open_duration=1.0,
+            ),
+            result_cache=ResultCacheSpec(capacity=128, staleness_bound=2.0),
+        )
     config = ScenarioConfig(
         seed=scenario.seed,
         settle=scenario.settle,
@@ -191,6 +227,7 @@ def _build_system(scenario: CheckScenario):
         deadline_budget=scenario.probe_budget,
         shards=scenario.shards,
         topology=topology,
+        **capacity_specs,
     )
     system = WhisperSystem(config)
     if scenario.shards > 1:
@@ -207,6 +244,15 @@ def _build_system(scenario: CheckScenario):
         student_admin_wsdl(),
         {"EnrollStudent": implementations},
         web_host="web0",
+        replica_factory=(
+            (
+                lambda index: student_enrollment(
+                    student_database(scenario.students)
+                )
+            )
+            if scenario.capacity
+            else None
+        ),
     )
     return system, service
 
@@ -585,6 +631,7 @@ class ScheduleExplorer:
                         if scenario.regions > 1
                         else ()
                     ),
+                    scale_events=scenario.capacity,
                 )
                 result = run_schedule(scenario, schedule)
                 report.runs += 1

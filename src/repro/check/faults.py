@@ -92,15 +92,21 @@ class DecisionFaultInjector:
         self.decisions += 1
         if not self._pending:
             return None
-        verdict: Optional[str] = None
+        to_fire: List[FaultOp] = []
         still_armed: List[FaultOp] = []
         for op in self._pending:
             if op.at_decision <= self.decisions and op.point in ("any", point):
-                if self._fire(op) == "drop":
-                    verdict = "drop"
+                to_fire.append(op)
             else:
                 still_armed.append(op)
+        # Disarm *before* firing: a scale-up spawns a peer whose joins and
+        # publishes synchronously re-enter these hooks, and a still-armed
+        # op would double-fire.
         self._pending = still_armed
+        verdict: Optional[str] = None
+        for op in to_fire:
+            if self._fire(op) == "drop":
+                verdict = "drop"
         return verdict
 
     # -- firing ------------------------------------------------------------------------
@@ -115,6 +121,26 @@ class DecisionFaultInjector:
                 now, op.target, duration=op.duration
             )
             self._record(op, victim=f"region:{op.target}")
+            return None
+        if op.action in ("scale-up", "scale-down"):
+            # Drive the autoscaling controller directly (bypassing its
+            # cooldown, never its [min, max] bounds) so scale transitions
+            # race the schedule's other faults.  Capacity scenarios only;
+            # recorded as skipped when the deployment has no controller
+            # or the bound/drain state refuses the transition.
+            controller = next(iter(getattr(self.service, "autoscalers", ())), None)
+            accepted = False
+            if controller is not None:
+                if op.action == "scale-up":
+                    accepted = controller.force_scale_up()
+                else:
+                    accepted = controller.force_scale_down()
+            if accepted:
+                self._record(op, victim=f"group:{controller.group.name}")
+            else:
+                self.skipped.append(
+                    {"op": op.to_dict(), "decision": self.decisions, "time": now}
+                )
             return None
         if op.action in ("crash", "partition"):
             victim = op.target

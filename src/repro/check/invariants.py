@@ -43,6 +43,10 @@ __all__ = [
     "convergence_violations",
     "saga_effects",
     "saga_atomicity_violations",
+    "autoscale_violations",
+    "retirement_violations",
+    "breaker_violations",
+    "rescache_violations",
     "InvariantRegistry",
 ]
 
@@ -152,6 +156,116 @@ def convergence_violations(peers, group: str = "") -> List[str]:
             f"after cooldown{where}: {claimants}"
         ]
     return []
+
+
+# -- adaptive capacity -----------------------------------------------------------------
+
+
+def autoscale_violations(autoscalers) -> List[str]:
+    """Replica count within [min, max]; unforced events respect cooldown.
+
+    Checker-forced scale ops (:class:`FaultOp` ``scale-up``/``scale-down``)
+    legitimately bypass the cooldown, so only controller-decided events
+    count toward the quiescence bound (≤1 per cooldown window).
+    """
+    violations: List[str] = []
+    for controller in autoscalers:
+        spec = controller.spec
+        active = len(controller.active_peers())
+        if not spec.min_replicas <= active <= spec.max_replicas:
+            violations.append(
+                f"group {controller.group.name}: {active} active replicas "
+                f"outside [{spec.min_replicas}, {spec.max_replicas}]"
+            )
+        previous = None
+        for event in controller.events:
+            if event.forced:
+                continue
+            if previous is not None and event.at - previous < spec.cooldown - 1e-9:
+                violations.append(
+                    f"group {controller.group.name}: scale events at "
+                    f"{previous:.3f} and {event.at:.3f} violate the "
+                    f"{spec.cooldown:.1f}s cooldown (flapping)"
+                )
+            previous = event.at
+    return violations
+
+
+def retirement_violations(autoscalers) -> List[str]:
+    """No retirement may strand queued, in-flight, or parked work."""
+    violations: List[str] = []
+    for controller in autoscalers:
+        for record in controller.retirements:
+            if record.queued_at_exit or record.parked_at_exit or not record.drained:
+                violations.append(
+                    f"group {controller.group.name}: retired {record.peer} at "
+                    f"t={record.at:.3f} with {record.queued_at_exit} queued and "
+                    f"{record.parked_at_exit} parked requests stranded"
+                )
+    return violations
+
+
+def breaker_violations(proxy) -> List[str]:
+    """The breaker never rejects a provably healthy service.
+
+    Auditable form: every closed→open trip must be justified by the
+    evidence the spec demands (≥ ``min_calls`` samples at ≥ the failure
+    threshold) — a half-open→open re-trip is justified by its failed
+    probe — and every rejection must fall inside a not-closed interval.
+    """
+    violations: List[str] = []
+    for breaker in getattr(proxy, "_breakers", {}).values():
+        spec = breaker.spec
+        for tr in breaker.transitions:
+            if tr.target != "open" or tr.source != "closed":
+                continue
+            rate = tr.failures / tr.calls if tr.calls else 0.0
+            if tr.calls < spec.min_calls or rate < spec.failure_threshold:
+                violations.append(
+                    f"breaker {breaker.scope}: tripped open at t={tr.at:.3f} "
+                    f"on {tr.failures}/{tr.calls} failures — below the "
+                    f"min_calls={spec.min_calls} / "
+                    f"threshold={spec.failure_threshold} evidence bar"
+                )
+        intervals = breaker.open_intervals(horizon=float("inf"))
+        for rejected_at in breaker.rejections:
+            if not any(start <= rejected_at <= end for start, end in intervals):
+                violations.append(
+                    f"breaker {breaker.scope}: rejected a call at "
+                    f"t={rejected_at:.3f} while closed (service healthy)"
+                )
+    return violations
+
+
+def rescache_violations(proxy) -> List[str]:
+    """The cache never serves a fenced-epoch or staleness-bound-busting value."""
+    cache = getattr(proxy, "result_cache", None)
+    if cache is None:
+        return []
+    violations: List[str] = []
+    if cache.stale_epoch_serves:
+        violations.append(
+            f"result cache served {cache.stale_epoch_serves} values from a "
+            f"fenced epoch"
+        )
+    bound = cache.spec.staleness_bound
+    for serve in cache.serves:
+        if serve.age > bound + 1e-9:
+            violations.append(
+                f"result cache served {serve.key} aged {serve.age:.3f}s at "
+                f"t={serve.at:.3f} (> staleness bound {bound:.1f}s)"
+            )
+        if (
+            serve.fence_epoch is not None
+            and serve.entry_epoch is not None
+            and serve.entry_epoch < serve.fence_epoch
+        ):
+            violations.append(
+                f"result cache served {serve.key} under epoch "
+                f"{serve.entry_epoch} at t={serve.at:.3f} despite fence "
+                f"{serve.fence_epoch}"
+            )
+    return violations
 
 
 # -- saga atomicity --------------------------------------------------------------------
@@ -279,6 +393,13 @@ class InvariantRegistry:
         if self.dedup_journal:
             violations.extend(exactly_once_violations(peers))
         violations.extend(queue_bound_violations(peers, self.queue_bound))
+        # Adaptive-capacity invariants: all vacuous (empty inputs) unless
+        # the scenario enabled autoscale / breaker / result cache.
+        autoscalers = getattr(service, "autoscalers", ())
+        violations.extend(autoscale_violations(autoscalers))
+        violations.extend(retirement_violations(autoscalers))
+        violations.extend(breaker_violations(service.proxy))
+        violations.extend(rescache_violations(service.proxy))
         return violations
 
     def check_final(self, service) -> List[str]:

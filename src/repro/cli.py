@@ -12,7 +12,8 @@
     python -m repro shard [--shards 1,2,4] [--replicas 2] [--rate-multiple 3.0]
                           [--skip-rebalance] [--json]
     python -m repro check [--seeds 5] [--schedules 50] [--timeout 300]
-                          [--regions 2] [--self-test] [--replay FILE]
+                          [--regions 2] [--capacity] [--self-test]
+                          [--replay FILE]
                           [--saga] [--saga-self-test] [--saga-replay FILE]
                           [--out FILE] [--json]
     python -m repro trace [--samples 20] [--crash] [--last 5] [--json]
@@ -21,6 +22,8 @@
                          [--check RECORD] [--tolerance 0.25] [--json]
     python -m repro wan [--scale smoke|full] [--out BENCH_wan.json] [--json]
     python -m repro saga [--scale smoke|full] [--out BENCH_saga.json] [--json]
+    python -m repro capacity [--scale smoke|full] [--out BENCH_capacity.json]
+                             [--json]
     python -m repro dlq [--sagas 3] [--requeue] [--json]
 
 Each subcommand prints the same tables the corresponding benchmark
@@ -475,7 +478,11 @@ def _cmd_check(args: argparse.Namespace) -> int:
         return 0 if outcome["ok"] else 2
 
     explorer = ScheduleExplorer(
-        CheckScenario(shards=args.shards, regions=args.regions),
+        CheckScenario(
+            shards=args.shards,
+            regions=args.regions,
+            capacity=args.capacity,
+        ),
         seeds=range(args.seed, args.seed + args.seeds),
         schedules_per_seed=args.schedules,
         max_ops=args.max_ops,
@@ -637,6 +644,27 @@ def _cmd_saga(args: argparse.Namespace) -> int:
         print(saga_module.format_record(record))
         print(f"wrote {args.out}")
     failures = saga_module.check_record(record)
+    for failure in failures:
+        print(failure)
+    return 0 if not failures else 1
+
+
+def _cmd_capacity(args: argparse.Namespace) -> int:
+    from .bench import capacity as capacity_module
+
+    record = capacity_module.run_capacity(
+        scale="smoke" if args.smoke else args.scale,
+        seed=args.seed,
+        progress=None if args.json else print,
+    )
+    with open(args.out, "w") as handle:
+        handle.write(json_module.dumps(record, indent=2) + "\n")
+    if args.json:
+        print(json_module.dumps(record, indent=2))
+    else:
+        print(capacity_module.format_record(record))
+        print(f"wrote {args.out}")
+    failures = capacity_module.check_record(record)
     for failure in failures:
         print(failure)
     return 0 if not failures else 1
@@ -852,6 +880,11 @@ def build_parser() -> argparse.ArgumentParser:
              "schedules audit election safety across WAN splits)",
     )
     check.add_argument(
+        "--capacity", action="store_true",
+        help="arm the adaptive-capacity layer (autoscaler + breaker + "
+             "cache) and add forced scale ops to explored schedules",
+    )
+    check.add_argument(
         "--saga", action="store_true",
         help="explore the saga scenario instead: random fault schedules "
              "(orchestrator crashes included) under the atomicity audit",
@@ -964,6 +997,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="where to write the saga record",
     )
     saga.set_defaults(func=_cmd_saga)
+
+    capacity = subparsers.add_parser(
+        "capacity",
+        parents=[seed_parent, json_parent],
+        help="adaptive capacity: diurnal trace, autoscaled vs static-max, "
+             "plus breaker drill and cache gates",
+    )
+    capacity.add_argument(
+        "--scale", choices=("smoke", "full"), default="full",
+        help="phase lengths; smoke is the CI tier",
+    )
+    capacity.add_argument(
+        "--smoke", action="store_true",
+        help="shorthand for --scale smoke (the CI tier)",
+    )
+    capacity.add_argument(
+        "--out", default="BENCH_capacity.json",
+        help="where to write the capacity record",
+    )
+    capacity.set_defaults(func=_cmd_capacity)
 
     dlq = subparsers.add_parser(
         "dlq",

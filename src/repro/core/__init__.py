@@ -6,9 +6,11 @@ coordination and backend failover, and the whole-system builder that wires
 clients → web server → service → proxy → P2P → b-peers → backends.
 """
 
+from .autoscale import AutoscaleSpec, AutoscalingGroup, AutoscalePolicy
 from .baselines import FailoverSoapClient, ReplicatedPlainService
 from .bpeer import BPeer, ExecReply, ExecRequest
 from .bpeer_group import BPeerGroup, deploy_bpeer_group, semantic_advertisement_for
+from .breaker import BreakerSpec, CircuitBreaker
 from .campaign import CampaignReport, FaultCampaign
 from .config import ScenarioConfig
 from .dispatch import (
@@ -22,6 +24,7 @@ from .dispatch import (
 from .journal import DedupJournal, JournalEntry, JournalStats
 from .errors import (
     AnnotationError,
+    CircuitOpenError,
     InvocationFailedError,
     NoCoordinatorError,
     NoMatchingGroupError,
@@ -29,6 +32,7 @@ from .errors import (
 )
 from .matching import GroupMatch, SemanticGroupMatcher, SyntacticGroupMatcher
 from .proxy import ProxyStats, SwsProxy
+from .rescache import ResultCacheSpec, SemanticResultCache
 from .result import InvokeOutcome, InvokeResult
 from .retry import Deadline, RetryPolicy
 from .sws import SemanticWebService
@@ -37,8 +41,16 @@ from .webservice import PlainWebService, WhisperWebService
 
 __all__ = [
     "AnnotationError",
+    "AutoscalePolicy",
+    "AutoscaleSpec",
+    "AutoscalingGroup",
     "BPeer",
     "BPeerGroup",
+    "BreakerSpec",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "ResultCacheSpec",
+    "SemanticResultCache",
     "CampaignReport",
     "Deadline",
     "DedupJournal",

@@ -269,6 +269,8 @@ class BPeer(Peer):
         #: operator reporting and can seed the group's QoS advertisement.
         self.qos_profile = QosProfile(initial_time=implementation.service_time)
         self._queue: Store = Store(self.env)
+        #: True while the worker is mid-request (autoscaler drain marker).
+        self._busy = False
         self._delegations: Dict[int, _Delegation] = {}
         self._delegation_ids = itertools.count(1)
         #: Coordinator-side load ledger: per-member outstanding counts +
@@ -1106,10 +1108,16 @@ class BPeer(Peer):
         try:
             while True:
                 kind, item = yield self._queue.get()
-                if kind == "exec":
-                    yield from self._serve(*item)
-                elif kind == "delegated":
-                    yield from self._serve_delegated(*item)
+                # Mid-execution marker: the autoscaler's drain must not
+                # retire this peer between dequeue and completion.
+                self._busy = True
+                try:
+                    if kind == "exec":
+                        yield from self._serve(*item)
+                    elif kind == "delegated":
+                        yield from self._serve_delegated(*item)
+                finally:
+                    self._busy = False
         except Interrupt:
             return
 

@@ -17,6 +17,9 @@ from dataclasses import dataclass
 from typing import Any, Dict, Optional, Union
 
 from ..ontology.match import DegreeOfMatch
+from .autoscale import AutoscaleSpec
+from .breaker import BreakerSpec
+from .rescache import ResultCacheSpec
 from .topology import Topology
 
 __all__ = ["ScenarioConfig"]
@@ -109,6 +112,25 @@ class ScenarioConfig:
     request_timeout: float = 2.0
     max_attempts: int = 8
     deadline_budget: float = 60.0
+
+    # -- adaptive capacity (ROADMAP item 5) --
+    #: Demand-driven group resizing (see :mod:`repro.core.autoscale`):
+    #: a controller watches the dispatch load ledger and spawns/retires
+    #: replicas between the spec's ``[min_replicas, max_replicas]`` with
+    #: cooldown hysteresis and epoch-safe drain-first retirement.
+    #: ``None`` keeps the paper's fixed-size groups, byte-identical to
+    #: the seed.
+    autoscale: Optional[AutoscaleSpec] = None
+    #: Client-side circuit breaker per (service, shard) binding (see
+    #: :mod:`repro.core.breaker`): trips open on a failure-rate threshold
+    #: over a sliding window, rejects locally while open, half-open
+    #: probes to heal.  ``None`` disables (seed behaviour).
+    circuit_breaker: Optional[BreakerSpec] = None
+    #: Read-through semantic result cache on the proxy (see
+    #: :mod:`repro.core.rescache`): read-only hits skip the whole
+    #: discover→bind→invoke path, epoch-fenced + staleness-bounded.
+    #: ``None`` disables (seed behaviour).
+    result_cache: Optional[ResultCacheSpec] = None
 
     def replace(self, **changes: Any) -> "ScenarioConfig":
         """A copy with ``changes`` applied (convenience for sweeps)."""

@@ -8,6 +8,7 @@ __all__ = [
     "NoCoordinatorError",
     "InvocationFailedError",
     "AnnotationError",
+    "CircuitOpenError",
 ]
 
 
@@ -29,3 +30,7 @@ class NoCoordinatorError(WhisperError):
 
 class InvocationFailedError(WhisperError):
     """The request could not be completed after retries and re-binding."""
+
+
+class CircuitOpenError(WhisperError):
+    """The proxy's circuit breaker rejected the call locally (no fallback)."""

@@ -42,8 +42,15 @@ from ..simnet.message import Address
 from ..soap.fault import SoapFault
 from ..wsdl.schema import SchemaError
 from .bpeer import COORD_HANDLER, PROTO_EXEC, PROTO_EXEC_REPLY, ExecReply, ExecRequest
-from .errors import InvocationFailedError, NoCoordinatorError, NoMatchingGroupError
+from .breaker import BreakerSpec, CircuitBreaker
+from .errors import (
+    CircuitOpenError,
+    InvocationFailedError,
+    NoCoordinatorError,
+    NoMatchingGroupError,
+)
 from .matching import GroupMatch, SemanticGroupMatcher
+from .rescache import ResultCacheSpec, SemanticResultCache
 from .result import InvokeOutcome, InvokeResult
 from .retry import Deadline, RetryPolicy
 from .sharding import ScatterResult, ShardRouter, shard_key
@@ -99,6 +106,14 @@ class ProxyStats:
     #: Scatters that completed degraded (some shard legs failed but the
     #: partial-result policy accepted the gather).
     scatter_partial: int = 0
+    #: Calls rejected locally by an open circuit breaker (no traffic).
+    breaker_rejected: int = 0
+    #: Breaker rejections answered by a graceful-degradation fallback.
+    breaker_fallbacks: int = 0
+    #: Read-only invocations served from the semantic result cache.
+    cache_hits: int = 0
+    #: Cache-eligible invocations that had to take the full path.
+    cache_misses: int = 0
     #: Durations (seconds, start to completion) of invocations that
     #: needed recovery — i.e. the proxy's observed failover times.
     failover_durations: List[float] = field(default_factory=list)
@@ -167,6 +182,8 @@ class SwsProxy(Peer):
         shard_suspect_interval: float = 10.0,
         home_region: Optional[str] = None,
         region_count: int = 1,
+        circuit_breaker: Optional[BreakerSpec] = None,
+        result_cache: Optional[ResultCacheSpec] = None,
         name: Optional[str] = None,
     ):
         super().__init__(node, name=name or f"proxy:{sws.name}")
@@ -213,6 +230,21 @@ class SwsProxy(Peer):
         #: successor even after a send; anything not listed here is
         #: treated as mutating and stays pinned once sent.
         self.read_only_operations: set = set()
+        #: Circuit breakers, lazily built per chosen advertisement —
+        #: i.e. per (service, shard) scope (``None`` spec disables).
+        self._breaker_spec = circuit_breaker
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        #: Graceful-degradation handlers per operation: with the circuit
+        #: open, ``fallback(operation, arguments)`` supplies a degraded
+        #: value instead of raising :class:`CircuitOpenError`.
+        self.fallbacks: Dict[str, Any] = {}
+        #: Read-through semantic result cache (``None`` spec disables):
+        #: read-only hits return before discovery even starts.
+        self.result_cache: Optional[SemanticResultCache] = (
+            SemanticResultCache(result_cache, metrics=node.network.obs.metrics)
+            if result_cache is not None
+            else None
+        )
         #: Per-operation shard routers, built lazily from discovered
         #: shard-annotated advertisements (discovery *is* the shard map).
         self._routers: Dict[str, ShardRouter] = {}
@@ -541,6 +573,33 @@ class SwsProxy(Peer):
         if invocation_id is None:
             invocation_id = f"{self.name}#{next(self._invocation_ids)}"
 
+        # Read-through semantic result cache: a hit on a read-only
+        # operation returns here — no discovery, no bind, no traffic.
+        # The key is the semantic action concept + the canonicalized
+        # argument map (shard_key's canonicalization), so syntactically
+        # different but semantically identical calls share an entry.
+        action = self.sws.annotation(operation).action
+        mutating = operation not in self.read_only_operations
+        cache_key: Optional[str] = None
+        if self.result_cache is not None and not mutating:
+            cache_key = shard_key(action, arguments)
+            entry = self.result_cache.lookup(
+                cache_key, self.env.now, fence_for=self._last_result_epoch.get
+            )
+            if entry is not None:
+                self.stats.cache_hits += 1
+                return InvokeResult(
+                    value=entry.value,
+                    outcome=InvokeOutcome.CACHED,
+                    epoch=entry.epoch,
+                    attempts=0,
+                    duration=self.env.now - started_at,
+                    trace_id=rtrace.request_id,
+                    served_by="rescache",
+                    invocation_id=invocation_id,
+                )
+            self.stats.cache_misses += 1
+
         discover_span = rtrace.begin("discover", self.env.now)
         matches = yield from self.find_peer_group_adv(operation, deadline=deadline)
         discover_span.finish(self.env.now, matches=len(matches))
@@ -579,20 +638,61 @@ class SwsProxy(Peer):
                 if m.advertisement.region is not None
                 and m.advertisement.group_id != match.advertisement.group_id
             ]
-        result = yield from self._invoke_attempts(
-            operation,
-            arguments,
-            match,
-            per_request_timeout=per_request_timeout,
-            deadline=deadline,
-            rtrace=rtrace,
-            invocation_id=invocation_id,
-            started_at=started_at,
-            router=router,
-            routing_key=routing_key,
-            match_by_name=match_by_name,
-            region_alternates=region_alternates,
-        )
+        # Circuit breaker, scoped to the chosen advertisement (i.e. per
+        # service + shard): an open circuit rejects locally — the
+        # fallback handler answers degraded, or CircuitOpenError raises.
+        breaker = self._breaker_for(match.advertisement.name)
+        if breaker is not None and not breaker.allow(self.env.now):
+            breaker.reject(self.env.now)
+            self.stats.breaker_rejected += 1
+            fallback = self.fallbacks.get(operation)
+            if fallback is not None:
+                self.stats.breaker_fallbacks += 1
+                self.obs.metrics.inc("proxy.breaker_fallbacks")
+                return InvokeResult(
+                    value=fallback(operation, arguments),
+                    outcome=InvokeOutcome.DEGRADED,
+                    epoch=None,
+                    attempts=0,
+                    duration=self.env.now - started_at,
+                    trace_id=rtrace.request_id,
+                    served_by="fallback",
+                    invocation_id=invocation_id,
+                )
+            raise CircuitOpenError(
+                f"circuit open for {match.advertisement.name!r} "
+                f"({self.sws.name}.{operation} rejected locally)"
+            )
+        try:
+            result = yield from self._invoke_attempts(
+                operation,
+                arguments,
+                match,
+                per_request_timeout=per_request_timeout,
+                deadline=deadline,
+                rtrace=rtrace,
+                invocation_id=invocation_id,
+                started_at=started_at,
+                router=router,
+                routing_key=routing_key,
+                match_by_name=match_by_name,
+                region_alternates=region_alternates,
+            )
+        finally:
+            # A mutating call may have executed even when it raised (a
+            # sent request can land after our timeout), so any cached
+            # read of this service could now be stale: flush.
+            if mutating and self.result_cache is not None:
+                self.result_cache.invalidate_all()
+        if cache_key is not None:
+            self.result_cache.store(
+                cache_key,
+                result.value,
+                action=action,
+                epoch=result.epoch,
+                group_id=result.group_id,
+                now=self.env.now,
+            )
         return result
 
     def _shard_router_for(
@@ -774,6 +874,7 @@ class SwsProxy(Peer):
                 except NoCoordinatorError:
                     bind_span.finish(self.env.now, outcome="no-coordinator")
                     failures += 1
+                    self._breaker_feedback(advertisement.name, ok=False)
                     enter_recovery("no-coordinator")
                     if try_reroute():
                         continue  # ring successor takes the segment now
@@ -797,6 +898,7 @@ class SwsProxy(Peer):
                 invoke_span.finish(self.env.now, outcome="timeout")
                 self.stats.timeouts += 1
                 self.obs.metrics.inc("proxy.timeouts")
+                self._breaker_feedback(advertisement.name, ok=False)
                 profile.record_failure()
                 self.drop_binding(group_id)
                 failures += 1
@@ -820,6 +922,7 @@ class SwsProxy(Peer):
                 invoke_span.finish(self.env.now, outcome="ok")
                 self.stats.successes += 1
                 self.obs.metrics.inc("proxy.successes")
+                self._breaker_feedback(advertisement.name, ok=True)
                 self.obs.metrics.observe("proxy.rtt", self.env.now - started_at)
                 profile.record_success(self.env.now - started_at)
                 if reply.deduped:
@@ -856,6 +959,7 @@ class SwsProxy(Peer):
                     shed_retries=shed_retries,
                     deduped=reply.deduped,
                     invocation_id=invocation_id,
+                    group_id=group_id,
                 )
             if reply.kind == "busy":
                 # Overload shed: the coordinator is alive but refusing
@@ -920,6 +1024,7 @@ class SwsProxy(Peer):
                     continue
                 self.stats.faults += 1
                 self.obs.metrics.inc("proxy.faults")
+                self._breaker_feedback(advertisement.name, ok=False)
                 profile.record_failure()
                 raise SoapFault.server(
                     f"all b-peers of {advertisement.name!r} cannot serve"
@@ -1054,7 +1159,41 @@ class SwsProxy(Peer):
         last = self._last_result_epoch.get(group_id)
         if last is None or epoch > last:
             self._last_result_epoch[group_id] = epoch
+            if self.result_cache is not None:
+                # Epoch fence advanced (failover happened): entries the
+                # new fence predates may miss recovered writes — drop.
+                self.result_cache.invalidate_epoch(group_id, epoch)
         self.result_epoch_log.append((group_id, epoch))
+
+    # -- circuit breakers ----------------------------------------------------------------
+
+    def _breaker_for(self, scope: str) -> Optional[CircuitBreaker]:
+        """The (service, shard)-scoped breaker, lazily built per scope."""
+        if self._breaker_spec is None:
+            return None
+        breaker = self._breakers.get(scope)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                self._breaker_spec, scope=scope, metrics=self.obs.metrics
+            )
+            self._breakers[scope] = breaker
+        return breaker
+
+    def _breaker_feedback(self, scope: str, ok: bool) -> None:
+        """Feed an attempt outcome to ``scope``'s breaker (if enabled).
+
+        Failure = no-coordinator bind failures, attempt timeouts, and
+        terminal cannot-serve — signals the group is *unreachable or
+        unable*.  Overload sheds and application faults are deliberately
+        not failures: a shedding or faulting service is alive.
+        """
+        breaker = self._breaker_for(scope)
+        if breaker is None:
+            return
+        if ok:
+            breaker.record_success(self.env.now)
+        else:
+            breaker.record_failure(self.env.now)
 
     def _send_and_wait(
         self,

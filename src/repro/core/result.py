@@ -35,6 +35,12 @@ class InvokeOutcome(enum.Enum):
     #: The request was shed at least once (``server-busy``) and succeeded
     #: on a later, retry-after-honoring attempt.
     RETRIED_AFTER_SHED = "retried-after-shed"
+    #: Served from the proxy's semantic result cache — no discovery, no
+    #: bind, no network traffic (read-only operations only).
+    CACHED = "cached"
+    #: Served by a graceful-degradation fallback handler because the
+    #: service's circuit breaker was open.
+    DEGRADED = "degraded"
 
 
 @dataclass(frozen=True)
@@ -64,6 +70,9 @@ class InvokeResult:
     #: Idempotency key the proxy minted for this logical call (``None``
     #: only for legacy callers that bypass the proxy).
     invocation_id: Optional[str] = None
+    #: Id of the b-peer group that served the request (``None`` for
+    #: cached/degraded results and legacy construction sites).
+    group_id: Optional[Any] = None
 
     @property
     def recovered(self) -> bool:

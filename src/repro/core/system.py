@@ -8,8 +8,8 @@ paper's Figures 1–3.  Examples and benchmarks build on this facade.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Dict, Generator, List, Optional
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional
 
 from ..backend.datasets import student_database
 from ..backend.services import (
@@ -35,6 +35,7 @@ from ..simnet.trace import MessageTrace
 from ..soap.client import SoapClient
 from ..wsdl.definitions import Definitions
 from ..wsdl.samples import student_management_wsdl
+from .autoscale import AutoscalingGroup
 from .bpeer_group import BPeerGroup, deploy_bpeer_group
 from .config import ScenarioConfig
 from .proxy import SwsProxy
@@ -68,6 +69,9 @@ class DeployedService:
     #: serving each region (``groups``/``group`` then hold the home
     #: region's).  ``None`` for single-region and span placements.
     region_groups: Optional[Dict[str, Dict[str, BPeerGroup]]] = None
+    #: Autoscaling controllers, one per operation group — empty unless
+    #: the deployment was configured with ``ScenarioConfig(autoscale=...)``.
+    autoscalers: List[AutoscalingGroup] = field(default_factory=list)
 
     def __post_init__(self):
         if self.groups is None:
@@ -315,6 +319,7 @@ class WhisperSystem:
         web_host: Optional[str] = None,
         group_name: Optional[str] = None,
         config: Optional[ScenarioConfig] = None,
+        replica_factory: Optional[Callable[[int], ServiceImplementation]] = None,
         **legacy: Any,
     ) -> DeployedService:
         """Deploy one semantic Web service backed by b-peer group(s).
@@ -336,6 +341,11 @@ class WhisperSystem:
         (dispatch policy, queue bound, proxy budgets, ...); legacy
         ``request_timeout=`` / ``max_attempts=`` keywords still work as a
         deprecated shim.
+
+        With ``config.autoscale`` set, ``replica_factory`` (replica index
+        → fresh :class:`ServiceImplementation`) is required: the
+        autoscaling controller mints scale-up replicas from it exactly
+        the way the initial deployment built its members.
         """
         scenario = ScenarioConfig.from_legacy_kwargs(
             config if config is not None else self.config,
@@ -351,6 +361,18 @@ class WhisperSystem:
                 "sharded multi-region deployments are not supported yet — "
                 "use shards=1 with a multi-region topology"
             )
+        if scenario.autoscale is not None:
+            if scenario.shards > 1 or topology.multi_region:
+                raise NotImplementedError(
+                    "autoscaling is only supported for single-region, "
+                    "unsharded deployments"
+                )
+            if replica_factory is None:
+                raise ValueError(
+                    "ScenarioConfig(autoscale=...) needs a replica_factory "
+                    "(replica index -> ServiceImplementation) so the "
+                    "controller can mint scale-up replicas"
+                )
         sws = SemanticWebService(definitions, self.ontology)
         if isinstance(implementations, dict):
             per_operation = dict(implementations)
@@ -472,6 +494,8 @@ class WhisperSystem:
             virtual_nodes=scenario.virtual_nodes,
             home_region=topology.home if replicate_regions else None,
             region_count=len(region_names) if replicate_regions else 1,
+            circuit_breaker=scenario.circuit_breaker,
+            result_cache=scenario.result_cache,
         )
         proxy.read_only_operations.update(read_only)
         proxy.attach_to(self.rendezvous)
@@ -487,6 +511,32 @@ class WhisperSystem:
             shard_groups=shard_groups,
             region_groups=region_groups,
         )
+        if scenario.autoscale is not None:
+            bpeer_kwargs = dict(
+                heartbeat_interval=scenario.heartbeat_interval,
+                miss_threshold=scenario.miss_threshold,
+                load_sharing=scenario.load_sharing,
+                dispatch=scenario.dispatch,
+                queue_bound=scenario.queue_bound,
+                dedup_journal=scenario.dedup_journal,
+                journal_capacity=scenario.journal_capacity,
+                epoch_fencing=scenario.epoch_fencing,
+            )
+            seen_groups: set = set()
+            for operation_group in groups.values():
+                if id(operation_group) in seen_groups:
+                    continue
+                seen_groups.add(id(operation_group))
+                controller = AutoscalingGroup(
+                    self.network,
+                    self.rendezvous,
+                    operation_group,
+                    replica_factory,
+                    scenario.autoscale,
+                    bpeer_kwargs=bpeer_kwargs,
+                )
+                controller.start()
+                deployed.autoscalers.append(controller)
         self.services[sws.name] = deployed
         return deployed
 
@@ -565,11 +615,21 @@ class WhisperSystem:
             if scenario.shards == 1 and not replicated
             else shard_implementations
         )
+        replica_factory = None
+        if scenario.autoscale is not None:
+            # Scale-up replicas read a fresh copy of the operational
+            # store, like the even-indexed members of the initial deploy.
+            def replica_factory(index: int) -> ServiceImplementation:
+                return student_lookup_operational(
+                    student_database(scenario.students)
+                )
+
         return self.deploy_service(
             student_management_wsdl(),
             implementations,
             web_host="web0",
             config=scenario,
+            replica_factory=replica_factory,
         )
 
     # -- simulation control ---------------------------------------------------------------

@@ -36,3 +36,42 @@ def network(env, seed):
 def two_hosts(network):
     """Two hosts ``a`` and ``b`` on the LAN."""
     return network.add_host("a"), network.add_host("b")
+
+
+@pytest.fixture
+def capacity_scenario(seed):
+    """A settled student service with the full capacity layer armed.
+
+    Autoscaler (floor 2, ceiling 5), circuit breaker, and semantic
+    result cache, all on one deployment — the shape the adaptive
+    capacity tests exercise.  Threads the shared ``seed`` fixture, so
+    ``@pytest.mark.parametrize("seed", [...], indirect=True)`` sweeps
+    it.  Returns ``(system, service)``.
+    """
+    from repro.core.autoscale import AutoscaleSpec
+    from repro.core.breaker import BreakerSpec
+    from repro.core.config import ScenarioConfig
+    from repro.core.rescache import ResultCacheSpec
+    from repro.core.system import WhisperSystem
+
+    system = WhisperSystem(
+        ScenarioConfig(
+            seed=seed,
+            replicas=2,
+            load_sharing=True,
+            autoscale=AutoscaleSpec(
+                min_replicas=2,
+                max_replicas=5,
+                cooldown=1.0,
+                interval=0.5,
+                smoothing=0.4,
+            ),
+            circuit_breaker=BreakerSpec(
+                window=8, min_calls=4, failure_threshold=0.75, open_duration=2.0
+            ),
+            result_cache=ResultCacheSpec(capacity=128, staleness_bound=2.0),
+        )
+    )
+    service = system.deploy_student_service()
+    system.settle(6.0)
+    return system, service
